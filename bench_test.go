@@ -1,0 +1,742 @@
+// Package repro_test is the benchmark harness: one bench per table/figure
+// of the paper's evaluation (see DESIGN.md §4 for the experiment index)
+// plus ablation benches for the design choices the paper calls out
+// (DESIGN.md §5). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benches that simulate WAN transfers report virtual seconds per download
+// ("vsec/dl") — the simulated wide-area time — alongside the usual
+// wall-clock ns/op of the simulation itself.
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/depot"
+	"repro/internal/erasure"
+	"repro/internal/exnode"
+	"repro/internal/experiments"
+	"repro/internal/faultnet"
+	"repro/internal/geo"
+	"repro/internal/ibp"
+	"repro/internal/integrity"
+	"repro/internal/lbone"
+	"repro/internal/nws"
+	"repro/internal/sealing"
+	"repro/internal/vclock"
+)
+
+// ---- substrate microbenches ----
+
+func BenchmarkGFMul(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= erasure.Mul(byte(i), byte(i>>8)|1)
+	}
+	_ = acc
+}
+
+func benchBlocks(k int, size int) [][]byte {
+	rng := rand.New(rand.NewSource(1))
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func BenchmarkRSEncode(b *testing.B) {
+	rs, err := erasure.NewRS(4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := benchBlocks(4, 64<<10)
+	b.SetBytes(4 * 64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rs.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSDecode(b *testing.B) {
+	rs, err := erasure.NewRS(4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := benchBlocks(4, 64<<10)
+	parity, err := rs.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := [][]byte{nil, data[1], nil, data[3], parity[0], parity[1]}
+	b.SetBytes(4 * 64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rs.Decode(blocks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXORParity(b *testing.B) {
+	data := benchBlocks(4, 64<<10)
+	b.SetBytes(4 * 64 << 10)
+	for i := 0; i < b.N; i++ {
+		if _, err := erasure.XORParity(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksumOverhead(b *testing.B) {
+	data := bytes.Repeat([]byte{7}, 1<<20)
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		_ = integrity.Sum(data)
+	}
+}
+
+func BenchmarkExnodeMarshal(b *testing.B) {
+	x := benchExnode(b, 27)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exnode.Marshal(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExnodeUnmarshal(b *testing.B) {
+	data, err := exnode.Marshal(benchExnode(b, 27))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exnode.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchExnode(b *testing.B, n int) *exnode.ExNode {
+	b.Helper()
+	x := exnode.New("bench", int64(n)*1000)
+	for i := 0; i < n; i++ {
+		key, err := ibp.NewKey()
+		if err != nil {
+			b.Fatal(err)
+		}
+		set := ibp.MintSet([]byte("bench"), "127.0.0.1:6714", key)
+		x.Add(&exnode.Mapping{
+			Offset: int64(i) * 1000, Length: 1000,
+			Read: set.Read, Write: set.Write, Manage: set.Manage,
+			Depot: fmt.Sprintf("D%d", i), Checksum: integrity.Sum([]byte{byte(i)}),
+		})
+	}
+	return x
+}
+
+func BenchmarkForecastBattery(b *testing.B) {
+	bat := nws.NewBattery()
+	for i := 0; i < b.N; i++ {
+		bat.Observe(float64(i%100) + 5)
+		if _, ok := bat.Forecast(); !ok {
+			b.Fatal("no forecast")
+		}
+	}
+}
+
+func BenchmarkIBPRoundTrip(b *testing.B) {
+	// Raw protocol performance on loopback: allocate + store + load 64 KiB.
+	d, err := depot.Serve("127.0.0.1:0", depot.Config{
+		Secret: []byte("bench"), Capacity: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	c := ibp.NewClient()
+	payload := bytes.Repeat([]byte{1}, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := c.Allocate(d.Addr(), 64<<10, time.Hour, ibp.Hard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Store(set.Write, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Load(set.Read, 0, 64<<10); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Delete(set.Manage); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIBPRoundTripPooled(b *testing.B) {
+	// Same exchange as BenchmarkIBPRoundTrip but with connection reuse:
+	// the gap between the two is the per-operation dial cost.
+	d, err := depot.Serve("127.0.0.1:0", depot.Config{
+		Secret: []byte("bench"), Capacity: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	c := ibp.NewClient(ibp.WithPooling(4))
+	defer c.Close()
+	payload := bytes.Repeat([]byte{1}, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := c.Allocate(d.Addr(), 64<<10, time.Hour, ibp.Hard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Store(set.Write, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Load(set.Read, 0, 64<<10); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Delete(set.Manage); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- paper artifact benches (experiment index E*) ----
+
+// E1: Test 1 availability monitoring (Figures 5-7).
+func BenchmarkTest1Availability(b *testing.B) {
+	tb := benchTestbed(b, experiments.TestbedConfig{Seed: 42})
+	defer tb.Close()
+	// 90 one-minute rounds: long enough to get past the outage grace
+	// period so the availability metric is meaningful.
+	cfg := experiments.Config{Seed: 42, FileSize: 100_000, Rounds: 90, Interval: time.Minute, UseNWS: true}
+	b.ResetTimer()
+	var last *experiments.Test1Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTest1(tb, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Availability.Overall.Ratio(), "avail%")
+}
+
+func benchTestbed(b *testing.B, cfg experiments.TestbedConfig) *experiments.Testbed {
+	b.Helper()
+	tb, err := experiments.NewTestbed(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tb
+}
+
+// E2 downloads: Figures 12-14 / the download-time table. One bench per
+// vantage point, reporting simulated WAN seconds per 3 MB download.
+func BenchmarkTest2DownloadUTK(b *testing.B)     { benchTest2Download(b, geo.UTK) }
+func BenchmarkTest2DownloadUCSD(b *testing.B)    { benchTest2Download(b, geo.UCSD) }
+func BenchmarkTest2DownloadHarvard(b *testing.B) { benchTest2Download(b, geo.Harvard) }
+
+func benchTest2Download(b *testing.B, site geo.Site) {
+	tb := benchTestbed(b, experiments.TestbedConfig{Seed: 42, PerfectNetwork: true})
+	defer tb.Close()
+	tools := tb.Tools(geo.UTK, false)
+	layout, err := tb.Test2Layout(3_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAB}, 3_000_000)
+	x, err := tools.UploadLayout("bench3mb", data, layout, core.UploadOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dl := tb.Tools(site, true)
+	tb.ProbeNWS(dl)
+	var virtual time.Duration
+	b.SetBytes(3_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rep, err := dl.Download(x, core.DownloadOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual += rep.Duration
+	}
+	b.ReportMetric(virtual.Seconds()/float64(b.N), "vsec/dl")
+}
+
+// E3: Test 3 download from the trimmed exnode (Figures 15-17).
+func BenchmarkTest3Download(b *testing.B) {
+	tb := benchTestbed(b, experiments.TestbedConfig{Seed: 42, PerfectNetwork: true})
+	defer tb.Close()
+	tools := tb.Tools(geo.UTK, false)
+	layout, err := tb.Test2Layout(3_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xCD}, 3_000_000)
+	x, err := tools.UploadLayout("bench3mb", data, layout, core.UploadOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trimmed, err := tools.Trim(x, core.TrimOptions{Indices: experiments.Test3DeleteIndices(), DeleteFromIBP: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dl := tb.Tools(geo.Harvard, true)
+	tb.ProbeNWS(dl)
+	var virtual time.Duration
+	b.SetBytes(3_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rep, err := dl.Download(trimmed, core.DownloadOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual += rep.Duration
+	}
+	b.ReportMetric(virtual.Seconds()/float64(b.N), "vsec/dl")
+}
+
+// ---- ablation benches (DESIGN.md §5) ----
+
+// A-replicas: how much replication is enough (§3.3 discussion). Reports
+// the download success rate under heavy depot failures per replica count.
+func BenchmarkReplicationSweep(b *testing.B) {
+	for _, replicas := range []int{1, 2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("replicas-%d", replicas), func(b *testing.B) {
+			clk := vclock.NewVirtual(time.Date(2002, 1, 11, 0, 0, 0, 0, time.UTC))
+			model := faultnet.NewModel(clk, 9)
+			model.SetLocalLink(faultnet.Link{RTT: time.Millisecond, Mbps: 100})
+			reg := lbone.NewRegistry(0, clk.Now)
+			var infos []lbone.DepotInfo
+			// Ten depots, each only ~70 % available: heavy failure regime.
+			for i := 0; i < 10; i++ {
+				d, err := depot.Serve("127.0.0.1:0", depot.Config{
+					Secret: []byte(fmt.Sprintf("sweep-%d", i)), Capacity: 1 << 30, Clock: clk,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer d.Close()
+				avail := faultnet.NewRenewalProcess(clk.Now().Add(time.Minute),
+					faultnet.ForAvailability(0.7, 10*time.Minute), 10*time.Minute, int64(i)*31)
+				model.AddDepot(d.Addr(), faultnet.DepotState{Site: "UTK", Avail: avail})
+				info := lbone.DepotInfo{
+					Addr: d.Addr(), Name: fmt.Sprintf("D%d", i), Site: "UTK",
+					Loc: geo.UTK.Loc, Capacity: 1 << 30, MaxDuration: 240 * time.Hour,
+				}
+				reg.Register(info)
+				infos = append(infos, info)
+			}
+			tools := &core.Tools{
+				IBP: ibp.NewClient(
+					ibp.WithDialer(model.DialerFrom("UTK")),
+					ibp.WithClock(clk),
+					ibp.WithDialTimeout(time.Second),
+				),
+				LBone: core.RegistrySource{Reg: reg},
+				Clock: clk,
+				Site:  "UTK",
+				Loc:   geo.UTK.Loc,
+			}
+			data := bytes.Repeat([]byte{1}, 100<<10)
+			x, err := tools.Upload("sweep", data, core.UploadOptions{
+				Replicas: replicas, Fragments: 2, Depots: infos,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ok := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tools.Download(x, core.DownloadOptions{}); err == nil {
+					ok++
+				}
+				clk.Advance(5 * time.Minute) // move through the failure process
+			}
+			b.ReportMetric(100*float64(ok)/float64(b.N), "success%")
+		})
+	}
+}
+
+// A-granularity: the paper's per-extent failover vs a whole-replica
+// baseline, under depot failures. Reports retrieval success rates; the gap
+// is the value of the paper's download design.
+func BenchmarkDownloadGranularity(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		whole bool
+	}{
+		{"extent-failover", false},
+		{"whole-replica", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			clk := vclock.NewVirtual(time.Date(2002, 1, 11, 0, 0, 0, 0, time.UTC))
+			model := faultnet.NewModel(clk, 21)
+			model.SetLocalLink(faultnet.Link{RTT: time.Millisecond, Mbps: 100})
+			reg := lbone.NewRegistry(0, clk.Now)
+			var infos []lbone.DepotInfo
+			for i := 0; i < 8; i++ {
+				d, err := depot.Serve("127.0.0.1:0", depot.Config{
+					Secret: []byte(fmt.Sprintf("gran-%d", i)), Capacity: 1 << 30, Clock: clk,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer d.Close()
+				avail := faultnet.NewRenewalProcess(clk.Now().Add(time.Minute),
+					faultnet.ForAvailability(0.8, 10*time.Minute), 10*time.Minute, int64(i)*77)
+				model.AddDepot(d.Addr(), faultnet.DepotState{Site: "UTK", Avail: avail})
+				info := lbone.DepotInfo{
+					Addr: d.Addr(), Name: fmt.Sprintf("D%d", i), Site: "UTK",
+					Loc: geo.UTK.Loc, Capacity: 1 << 30, MaxDuration: 240 * time.Hour,
+				}
+				reg.Register(info)
+				infos = append(infos, info)
+			}
+			tools := &core.Tools{
+				IBP: ibp.NewClient(
+					ibp.WithDialer(model.DialerFrom("UTK")),
+					ibp.WithClock(clk),
+					ibp.WithDialTimeout(time.Second),
+				),
+				LBone: core.RegistrySource{Reg: reg},
+				Clock: clk,
+				Site:  "UTK",
+				Loc:   geo.UTK.Loc,
+			}
+			data := bytes.Repeat([]byte{9}, 64<<10)
+			x, err := tools.Upload("gran", data, core.UploadOptions{
+				Replicas: 3, Fragments: 4, Depots: infos,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ok := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if tc.whole {
+					_, _, err = tools.DownloadWholeReplica(x, core.DownloadOptions{})
+				} else {
+					_, _, err = tools.Download(x, core.DownloadOptions{})
+				}
+				if err == nil {
+					ok++
+				}
+				clk.Advance(7 * time.Minute)
+			}
+			b.ReportMetric(100*float64(ok)/float64(b.N), "success%")
+		})
+	}
+}
+
+// A-placement: rotate vs site-diverse placement under whole-site outages
+// (the replication-strategy question of §2.3/§4). Reports retrieval
+// success while one of two sites is down half the time.
+func BenchmarkPlacementPolicy(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		policy core.Placement
+	}{
+		{"rotate", core.PlacementRotate},
+		{"site-diverse", core.PlacementSiteDiverse},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			clk := vclock.NewVirtual(time.Date(2002, 1, 11, 0, 0, 0, 0, time.UTC))
+			model := faultnet.NewModel(clk, 31)
+			model.SetLocalLink(faultnet.Link{RTT: time.Millisecond, Mbps: 100})
+			model.SetDefaultLink(faultnet.Link{RTT: 10 * time.Millisecond, Mbps: 50})
+			reg := lbone.NewRegistry(0, clk.Now)
+			// Two sites, two depots each. Site UTK flaps: down half of
+			// every 2-hour period after a grace minute. Rotation over the
+			// adversarial depot order puts both copies of the first extent
+			// on UTK, so the flap takes them out together; site-diverse
+			// placement splits them across sites.
+			var siteDown []faultnet.Window
+			for h := 0; h < 2000; h += 2 {
+				from := clk.Now().Add(time.Duration(h)*time.Hour + time.Minute)
+				siteDown = append(siteDown, faultnet.Window{From: from, To: from.Add(time.Hour)})
+			}
+			var infos []lbone.DepotInfo
+			for i, site := range []string{"UTK", "UTK", "UCSD", "UCSD"} {
+				d, err := depot.Serve("127.0.0.1:0", depot.Config{
+					Secret: []byte(fmt.Sprintf("plc-%d", i)), Capacity: 1 << 30, Clock: clk,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer d.Close()
+				st := faultnet.DepotState{Site: site}
+				if site == "UTK" {
+					st.Avail = faultnet.Windows{Down: siteDown}
+				}
+				model.AddDepot(d.Addr(), st)
+				loc := geo.UTK.Loc
+				if site == "UCSD" {
+					loc = geo.UCSD.Loc
+				}
+				info := lbone.DepotInfo{
+					Addr: d.Addr(), Name: fmt.Sprintf("%s%d", site, i), Site: site,
+					Loc: loc, Capacity: 1 << 30, MaxDuration: 240 * time.Hour,
+				}
+				reg.Register(info)
+				infos = append(infos, info)
+			}
+			tools := &core.Tools{
+				IBP: ibp.NewClient(
+					ibp.WithDialer(model.DialerFrom("UTK")),
+					ibp.WithClock(clk),
+					ibp.WithDialTimeout(time.Second),
+				),
+				LBone: core.RegistrySource{Reg: reg},
+				Clock: clk,
+				Site:  "UTK",
+				Loc:   geo.UTK.Loc,
+			}
+			// Adversarial depot order: same-site depots adjacent, so plain
+			// rotation can put both copies of an extent on one site.
+			data := bytes.Repeat([]byte{7}, 32<<10)
+			x, err := tools.Upload("plc", data, core.UploadOptions{
+				Replicas: 2, Fragments: 2, Depots: infos, Placement: tc.policy,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ok := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tools.Download(x, core.DownloadOptions{}); err == nil {
+					ok++
+				}
+				clk.Advance(41 * time.Minute) // sample both halves of the flap cycle
+			}
+			b.ReportMetric(100*float64(ok)/float64(b.N), "success%")
+		})
+	}
+}
+
+// A-nws: download strategy comparison (§2.3).
+func BenchmarkDownloadStrategy(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		strat core.Strategy
+	}{
+		{"nws", core.StrategyNWS},
+		{"static", core.StrategyStatic},
+		{"random", core.StrategyRandom},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			tb := benchTestbed(b, experiments.TestbedConfig{Seed: 42, PerfectNetwork: true})
+			defer tb.Close()
+			tools := tb.Tools(geo.UTK, false)
+			layout, err := tb.Test2Layout(1_000_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := bytes.Repeat([]byte{2}, 1_000_000)
+			x, err := tools.UploadLayout("strat", data, layout, core.UploadOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dl := tb.Tools(geo.Harvard, tc.strat == core.StrategyNWS)
+			if tc.strat == core.StrategyNWS {
+				tb.ProbeNWS(dl)
+			}
+			var virtual time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, rep, err := dl.Download(x, core.DownloadOptions{Strategy: tc.strat, Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				virtual += rep.Duration
+			}
+			b.ReportMetric(virtual.Seconds()/float64(b.N), "vsec/dl")
+		})
+	}
+}
+
+// A-parallel: threaded downloads (the paper's future work). Runs on the
+// real loopback network (no shaping) so wall-clock ns/op shows the
+// speedup.
+func BenchmarkDownloadParallelism(b *testing.B) {
+	reg := lbone.NewRegistry(0, nil)
+	var infos []lbone.DepotInfo
+	for i := 0; i < 8; i++ {
+		d, err := depot.Serve("127.0.0.1:0", depot.Config{
+			Secret: []byte(fmt.Sprintf("par-%d", i)), Capacity: 1 << 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		info := lbone.DepotInfo{
+			Addr: d.Addr(), Name: fmt.Sprintf("D%d", i), Site: "UTK",
+			Loc: geo.UTK.Loc, Capacity: 1 << 30, MaxDuration: 240 * time.Hour,
+		}
+		reg.Register(info)
+		infos = append(infos, info)
+	}
+	tools := &core.Tools{
+		IBP:   ibp.NewClient(),
+		LBone: core.RegistrySource{Reg: reg},
+		Site:  "UTK",
+		Loc:   geo.UTK.Loc,
+	}
+	data := bytes.Repeat([]byte{3}, 8<<20)
+	x, err := tools.Upload("par", data, core.UploadOptions{Fragments: 8, Depots: infos})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", p), func(b *testing.B) {
+			b.SetBytes(8 << 20)
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tools.Download(x, core.DownloadOptions{Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// A-striping: stripe width vs download wall time on loopback.
+func BenchmarkStripeWidth(b *testing.B) {
+	reg := lbone.NewRegistry(0, nil)
+	var infos []lbone.DepotInfo
+	for i := 0; i < 8; i++ {
+		d, err := depot.Serve("127.0.0.1:0", depot.Config{
+			Secret: []byte(fmt.Sprintf("stripe-%d", i)), Capacity: 1 << 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		info := lbone.DepotInfo{
+			Addr: d.Addr(), Name: fmt.Sprintf("D%d", i), Site: "UTK",
+			Loc: geo.UTK.Loc, Capacity: 1 << 30, MaxDuration: 240 * time.Hour,
+		}
+		reg.Register(info)
+		infos = append(infos, info)
+	}
+	tools := &core.Tools{
+		IBP:   ibp.NewClient(),
+		LBone: core.RegistrySource{Reg: reg},
+		Site:  "UTK",
+		Loc:   geo.UTK.Loc,
+	}
+	data := bytes.Repeat([]byte{4}, 4<<20)
+	for _, frags := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("fragments-%d", frags), func(b *testing.B) {
+			x, err := tools.Upload("stripe", data, core.UploadOptions{Fragments: frags, Depots: infos})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(4 << 20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tools.Download(x, core.DownloadOptions{Parallelism: frags}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// A-erasure: storage overhead vs fault coverage, replication vs coding.
+func BenchmarkErasureVsReplication(b *testing.B) {
+	reg := lbone.NewRegistry(0, nil)
+	var infos []lbone.DepotInfo
+	for i := 0; i < 6; i++ {
+		d, err := depot.Serve("127.0.0.1:0", depot.Config{
+			Secret: []byte(fmt.Sprintf("evr-%d", i)), Capacity: 1 << 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		info := lbone.DepotInfo{
+			Addr: d.Addr(), Name: fmt.Sprintf("D%d", i), Site: "UTK",
+			Loc: geo.UTK.Loc, Capacity: 1 << 30, MaxDuration: 240 * time.Hour,
+		}
+		reg.Register(info)
+		infos = append(infos, info)
+	}
+	tools := &core.Tools{
+		IBP:   ibp.NewClient(),
+		LBone: core.RegistrySource{Reg: reg},
+		Site:  "UTK",
+		Loc:   geo.UTK.Loc,
+	}
+	data := bytes.Repeat([]byte{5}, 1<<20)
+	b.Run("replication-3x", func(b *testing.B) {
+		b.SetBytes(1 << 20)
+		for i := 0; i < b.N; i++ {
+			x, err := tools.Upload("r", data, core.UploadOptions{Replicas: 3, Depots: infos, Duration: time.Hour})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cleanupExnode(b, tools, x)
+		}
+		b.ReportMetric(3.0, "bytes-stored/byte")
+	})
+	b.Run("rs-4-2", func(b *testing.B) {
+		b.SetBytes(1 << 20)
+		for i := 0; i < b.N; i++ {
+			x, err := tools.UploadRS("c", data, core.CodedOptions{DataBlocks: 4, ParityBlocks: 2, Depots: infos, Duration: time.Hour})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cleanupExnode(b, tools, x)
+		}
+		b.ReportMetric(1.5, "bytes-stored/byte")
+	})
+}
+
+func cleanupExnode(b *testing.B, tools *core.Tools, x *exnode.ExNode) {
+	b.Helper()
+	for _, m := range x.Mappings {
+		if !m.Manage.IsZero() {
+			tools.IBP.Delete(m.Manage)
+		}
+	}
+}
+
+func BenchmarkSealUnseal(b *testing.B) {
+	key := sealing.DeriveKey("bench pass")
+	iv, err := sealing.NewIV()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{3}, 1<<20)
+	b.SetBytes(2 << 20) // seal + unseal
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sealed, err := sealing.Seal(key, iv, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sealing.UnsealAt(key, iv, sealed, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command ibp-depot runs an IBP depot daemon: it inserts local storage
+// into the network as time-limited, append-only byte arrays addressed by
+// capabilities (paper §2.1).
+//
+// Usage:
+//
+//	ibp-depot -listen :6714 -capacity 1073741824 -dir /var/ibp \
+//	          -secret-file /etc/ibp.secret -lbone host:6767 -name UTK1 -site UTK
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/depot"
+	"repro/internal/geo"
+	"repro/internal/ibp"
+	"repro/internal/lbone"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:6714", "address to listen on")
+		advertised  = flag.String("advertised", "", "address minted into capabilities (default: listen address)")
+		capacity    = flag.Int64("capacity", 1<<30, "total bytes to serve")
+		maxDuration = flag.Duration("max-duration", 30*24*time.Hour, "longest allocation lifetime granted")
+		dir         = flag.String("dir", "", "directory for file-backed storage (default: in-memory)")
+		secretFile  = flag.String("secret-file", "", "file holding the capability-signing secret (default: random per run)")
+		lboneAddr   = flag.String("lbone", "", "L-Bone server to register with (optional)")
+		name        = flag.String("name", "depot", "depot display name for the L-Bone")
+		site        = flag.String("site", "UTK", "site name for proximity resolution (see internal/geo)")
+		heartbeat   = flag.Duration("heartbeat", time.Minute, "L-Bone heartbeat interval")
+		reapEvery   = flag.Duration("reap", time.Minute, "expired-allocation sweep interval")
+	)
+	flag.Parse()
+
+	secret, err := loadSecret(*secretFile)
+	if err != nil {
+		log.Fatalf("ibp-depot: %v", err)
+	}
+	cfg := depot.Config{
+		Advertised:  *advertised,
+		Secret:      secret,
+		Capacity:    *capacity,
+		MaxDuration: *maxDuration,
+		Logger:      log.New(os.Stderr, "depot: ", log.LstdFlags),
+	}
+	if *dir != "" {
+		backend, err := depot.NewFileBackend(*dir)
+		if err != nil {
+			log.Fatalf("ibp-depot: %v", err)
+		}
+		cfg.Backend = backend
+	}
+	d, err := depot.Serve(*listen, cfg)
+	if err != nil {
+		log.Fatalf("ibp-depot: %v", err)
+	}
+	log.Printf("ibp-depot: serving %d bytes on %s (capabilities name %s)", *capacity, d.Addr(), d.Advertised())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	// Periodic expired-allocation sweep.
+	go func() {
+		t := time.NewTicker(*reapEvery)
+		defer t.Stop()
+		for range t.C {
+			if n := d.ReapExpired(); n > 0 {
+				log.Printf("ibp-depot: reaped %d expired allocations", n)
+			}
+		}
+	}()
+
+	// Optional L-Bone registration + heartbeat.
+	if *lboneAddr != "" {
+		siteInfo, ok := geo.LookupSite(*site)
+		if !ok {
+			log.Fatalf("ibp-depot: unknown site %q", *site)
+		}
+		client := lbone.NewClient(*lboneAddr)
+		info := lbone.DepotInfo{
+			Addr:        d.Advertised(),
+			Name:        *name,
+			Site:        siteInfo.Name,
+			Loc:         siteInfo.Loc,
+			Capacity:    *capacity,
+			MaxDuration: *maxDuration,
+		}
+		if err := client.Register(info); err != nil {
+			log.Fatalf("ibp-depot: registering with L-Bone: %v", err)
+		}
+		log.Printf("ibp-depot: registered with L-Bone at %s as %s/%s", *lboneAddr, *name, siteInfo.Name)
+		go func() {
+			t := time.NewTicker(*heartbeat)
+			defer t.Stop()
+			for range t.C {
+				if err := client.Heartbeat(info.Addr); err != nil {
+					log.Printf("ibp-depot: heartbeat: %v", err)
+				}
+			}
+		}()
+	}
+
+	<-stop
+	log.Printf("ibp-depot: shutting down")
+	if err := d.Close(); err != nil {
+		log.Fatalf("ibp-depot: close: %v", err)
+	}
+}
+
+// loadSecret reads the signing secret, generating an ephemeral one when no
+// file is configured (capabilities then die with the process, which is
+// fine for testing).
+func loadSecret(path string) ([]byte, error) {
+	if path == "" {
+		key, err := ibp.NewKey()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(os.Stderr, "ibp-depot: using an ephemeral secret; capabilities will not survive restarts")
+		return []byte(key), nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading secret: %w", err)
+	}
+	if len(b) < 16 {
+		return nil, fmt.Errorf("secret in %s is too short (%d bytes, want >= 16)", path, len(b))
+	}
+	return b, nil
+}

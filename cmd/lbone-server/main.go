@@ -1,0 +1,51 @@
+// Command lbone-server runs a Logistical Backbone registry: depots
+// register themselves, clients query for depots by capacity, duration and
+// proximity (paper §2.2).
+//
+// Usage:
+//
+//	lbone-server -listen :6767 -ttl 5m
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ibp"
+	"repro/internal/lbone"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:6767", "address to listen on")
+		ttl    = flag.Duration("ttl", 5*time.Minute, "depot liveness window (0 = never expire)")
+		poll   = flag.Duration("poll", 0, "refresh depot capacities via STATUS at this interval (0 = off)")
+	)
+	flag.Parse()
+
+	s, err := lbone.ServeRegistry(*listen, lbone.ServerConfig{
+		TTL:    *ttl,
+		Logger: log.New(os.Stderr, "lbone: ", log.LstdFlags),
+	})
+	if err != nil {
+		log.Fatalf("lbone-server: %v", err)
+	}
+	log.Printf("lbone-server: listening on %s (ttl %v)", s.Addr(), *ttl)
+	if *poll > 0 {
+		p := s.StartPoller(ibp.NewClient(), *poll)
+		defer p.Stop()
+		log.Printf("lbone-server: polling depot capacities every %v", *poll)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("lbone-server: shutting down")
+	if err := s.Close(); err != nil {
+		log.Fatalf("lbone-server: close: %v", err)
+	}
+}

@@ -1,0 +1,41 @@
+// Command nws-server runs a Network Weather Service daemon: sensors
+// RECORD bandwidth/latency measurements, clients request FORECASTs that
+// the Logistical Tools use to pick download sources (paper §2.2).
+//
+// Usage:
+//
+//	nws-server -listen :6770 -history 512
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/nws"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:6770", "address to listen on")
+		history = flag.Int("history", 512, "raw measurements retained per series")
+	)
+	flag.Parse()
+
+	svc := nws.NewService(nil, *history)
+	s, err := nws.ServeNWS(*listen, svc, log.New(os.Stderr, "nws: ", log.LstdFlags))
+	if err != nil {
+		log.Fatalf("nws-server: %v", err)
+	}
+	log.Printf("nws-server: listening on %s", s.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("nws-server: shutting down")
+	if err := s.Close(); err != nil {
+		log.Fatalf("nws-server: close: %v", err)
+	}
+}

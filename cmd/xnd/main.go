@@ -1,0 +1,545 @@
+// Command xnd is the Logistical Tools CLI (paper §2.3): upload local data
+// into network storage as a striped, replicated exNode; download, list,
+// refresh, augment, trim and route exNode files; query depot status.
+//
+// Examples:
+//
+//	xnd upload  -lbone host:6767 -replicas 3 -fragments 4 -o file.xnd file.dat
+//	xnd download -o file.dat file.xnd
+//	xnd ls file.xnd
+//	xnd refresh -duration 240h file.xnd
+//	xnd augment -lbone host:6767 -near UCSD -o file2.xnd file.xnd
+//	xnd trim -expired -o file2.xnd file.xnd
+//	xnd status host:6714
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exnode"
+	"repro/internal/geo"
+	"repro/internal/ibp"
+	"repro/internal/lbone"
+	"repro/internal/nws"
+	"repro/internal/sealing"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xnd: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "upload":
+		err = cmdUpload(args)
+	case "download":
+		err = cmdDownload(args)
+	case "ls":
+		err = cmdLs(args)
+	case "refresh":
+		err = cmdRefresh(args)
+	case "augment":
+		err = cmdAugment(args)
+	case "trim":
+		err = cmdTrim(args)
+	case "route":
+		err = cmdRoute(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "maintain":
+		err = cmdMaintain(args)
+	case "status":
+		err = cmdStatus(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: xnd <command> [flags]
+
+commands:
+  upload    store a local file into the network, emitting an exnode
+  download  reassemble a file from an exnode
+  ls        list an exnode's segments with availability and metadata
+  refresh   extend the time limits of an exnode's allocations
+  augment   add replicas to an exnode
+  trim      remove fragments from an exnode
+  route     move a file toward a new location (augment + trim)
+  verify    audit every segment's availability and checksum
+  maintain  refresh, trim dead segments, and repair lost redundancy
+  status    query a depot's capacity and limits`)
+	os.Exit(2)
+}
+
+// commonFlags holds flags shared by the tools.
+type commonFlags struct {
+	fs        *flag.FlagSet
+	lbone     *string
+	site      *string
+	timeout   *time.Duration
+	useNWS    *bool
+	nwsServer *string
+}
+
+func newFlags(name string) *commonFlags {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &commonFlags{
+		fs:        fs,
+		lbone:     fs.String("lbone", os.Getenv("XND_LBONE"), "L-Bone server address (or $XND_LBONE)"),
+		site:      fs.String("site", envOr("XND_SITE", "UTK"), "client site name for proximity/NWS (or $XND_SITE)"),
+		timeout:   fs.Duration("timeout", 30*time.Second, "per-operation timeout"),
+		useNWS:    fs.Bool("nws", true, "keep a local NWS to guide downloads"),
+		nwsServer: fs.String("nws-server", os.Getenv("XND_NWS"), "remote NWS daemon address (or $XND_NWS; overrides -nws)"),
+	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// tools builds the Logistical Tools client from common flags.
+func (c *commonFlags) tools() (*core.Tools, error) {
+	site, ok := geo.LookupSite(*c.site)
+	if !ok {
+		return nil, fmt.Errorf("unknown site %q", *c.site)
+	}
+	t := &core.Tools{
+		IBP:  ibp.NewClient(ibp.WithOpTimeout(*c.timeout)),
+		Site: site.Name,
+		Loc:  site.Loc,
+	}
+	if *c.lbone != "" {
+		t.LBone = lbone.NewClient(*c.lbone)
+	}
+	switch {
+	case *c.nwsServer != "":
+		t.NWS = nws.NewRemote(*c.nwsServer)
+	case *c.useNWS:
+		t.NWS = nws.NewService(nil, 256)
+	}
+	return t, nil
+}
+
+func readExnode(path string) (*exnode.ExNode, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return exnode.Unmarshal(data)
+}
+
+func writeExnode(path string, x *exnode.ExNode) error {
+	data, err := exnode.Marshal(x)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func cmdUpload(args []string) error {
+	c := newFlags("upload")
+	replicas := c.fs.Int("replicas", 1, "number of full copies")
+	fragments := c.fs.Int("fragments", 1, "fragments per copy (striping)")
+	duration := c.fs.Duration("duration", core.DefaultDuration, "allocation lifetime")
+	checksum := c.fs.Bool("checksum", true, "record per-fragment SHA-256 digests")
+	near := c.fs.String("near", "", "place fragments near this site")
+	rs := c.fs.String("rs", "", "Reed-Solomon coding as k,m (e.g. 4,2) instead of replication")
+	pass := c.fs.String("encrypt-pass", "", "seal the file with AES-256-CTR under this passphrase")
+	placement := c.fs.String("placement", "rotate", "depot assignment: rotate|site-diverse")
+	parallel := c.fs.Int("parallel", 1, "concurrent fragment uploads")
+	out := c.fs.String("o", "-", "output exnode path (- = stdout)")
+	c.fs.Parse(args)
+	if c.fs.NArg() != 1 {
+		return fmt.Errorf("upload wants exactly one input file")
+	}
+	data, err := os.ReadFile(c.fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	t, err := c.tools()
+	if err != nil {
+		return err
+	}
+	var x *exnode.ExNode
+	if *rs != "" {
+		k, m, err := parseKM(*rs)
+		if err != nil {
+			return err
+		}
+		x, err = t.UploadRS(c.fs.Arg(0), data, core.CodedOptions{
+			DataBlocks: k, ParityBlocks: m,
+			Duration: *duration, Checksum: *checksum,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		opts := core.UploadOptions{
+			Replicas:  *replicas,
+			Fragments: *fragments,
+			Duration:  *duration,
+			Checksum:  *checksum,
+		}
+		if *pass != "" {
+			opts.EncryptionKey = sealing.DeriveKey(*pass)
+		}
+		opts.Parallelism = *parallel
+		switch *placement {
+		case "rotate":
+		case "site-diverse":
+			opts.Placement = core.PlacementSiteDiverse
+		default:
+			return fmt.Errorf("unknown placement %q", *placement)
+		}
+		if *near != "" {
+			s, ok := geo.LookupSite(*near)
+			if !ok {
+				return fmt.Errorf("unknown site %q", *near)
+			}
+			opts.Near = &s.Loc
+		}
+		x, err = t.Upload(c.fs.Arg(0), data, opts)
+		if err != nil {
+			return err
+		}
+	}
+	log.Printf("uploaded %d bytes as %d mappings", len(data), len(x.Mappings))
+	return writeExnode(*out, x)
+}
+
+func parseKM(s string) (int, int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -rs %q, want k,m", s)
+	}
+	k, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad -rs %q, want k,m", s)
+	}
+	return k, m, nil
+}
+
+func cmdDownload(args []string) error {
+	c := newFlags("download")
+	out := c.fs.String("o", "-", "output file (- = stdout)")
+	offset := c.fs.Int64("offset", 0, "range start")
+	length := c.fs.Int64("length", -1, "range length (-1 = to end)")
+	parallel := c.fs.Int("parallel", 1, "concurrent extent fetchers")
+	strategy := c.fs.String("strategy", "auto", "depot ranking: auto|nws|static|random")
+	pass := c.fs.String("decrypt-pass", "", "passphrase for encrypted exnodes")
+	c.fs.Parse(args)
+	if c.fs.NArg() != 1 {
+		return fmt.Errorf("download wants exactly one exnode")
+	}
+	x, err := readExnode(c.fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	t, err := c.tools()
+	if err != nil {
+		return err
+	}
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	n := *length
+	if n < 0 {
+		n = x.Size - *offset
+	}
+	dlOpts := core.DownloadOptions{
+		Strategy:    strat,
+		Parallelism: *parallel,
+	}
+	if *pass != "" {
+		dlOpts.DecryptionKey = sealing.DeriveKey(*pass)
+	}
+	data, rep, err := t.DownloadRange(x, *offset, n, dlOpts)
+	if err != nil {
+		return err
+	}
+	log.Printf("downloaded %d bytes in %v (%d extents, %d failovers)",
+		rep.Bytes, rep.Duration.Round(time.Millisecond), len(rep.Extents), rep.Failovers)
+	if *out == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "auto":
+		return core.StrategyAuto, nil
+	case "nws":
+		return core.StrategyNWS, nil
+	case "static":
+		return core.StrategyStatic, nil
+	case "random":
+		return core.StrategyRandom, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func cmdLs(args []string) error {
+	c := newFlags("ls")
+	c.fs.Parse(args)
+	if c.fs.NArg() != 1 {
+		return fmt.Errorf("ls wants exactly one exnode")
+	}
+	x, err := readExnode(c.fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	t, err := c.tools()
+	if err != nil {
+		return err
+	}
+	entries := t.List(x)
+	fmt.Print(core.FormatList(x.Name, x.Size, entries))
+	fmt.Printf("segment availability now: %.2f%%\n", core.Availability(entries))
+	return nil
+}
+
+func cmdRefresh(args []string) error {
+	c := newFlags("refresh")
+	duration := c.fs.Duration("duration", core.DefaultDuration, "new lifetime from now")
+	out := c.fs.String("o", "", "write the updated exnode here (default: in place)")
+	c.fs.Parse(args)
+	if c.fs.NArg() != 1 {
+		return fmt.Errorf("refresh wants exactly one exnode")
+	}
+	path := c.fs.Arg(0)
+	x, err := readExnode(path)
+	if err != nil {
+		return err
+	}
+	t, err := c.tools()
+	if err != nil {
+		return err
+	}
+	n, err := t.Refresh(x, *duration)
+	log.Printf("refreshed %d of %d segments", n, len(x.Mappings))
+	if err != nil {
+		log.Printf("warning: %v", err)
+	}
+	if *out == "" {
+		*out = path
+	}
+	return writeExnode(*out, x)
+}
+
+func cmdAugment(args []string) error {
+	c := newFlags("augment")
+	replicas := c.fs.Int("replicas", 1, "copies to add")
+	fragments := c.fs.Int("fragments", 1, "fragments per new copy")
+	near := c.fs.String("near", "", "place new copies near this site")
+	thirdParty := c.fs.Bool("third-party", false, "replicate with depot-to-depot COPY (data never passes through this client)")
+	out := c.fs.String("o", "-", "output exnode path")
+	c.fs.Parse(args)
+	if c.fs.NArg() != 1 {
+		return fmt.Errorf("augment wants exactly one exnode")
+	}
+	x, err := readExnode(c.fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	t, err := c.tools()
+	if err != nil {
+		return err
+	}
+	opts := core.AugmentOptions{Replicas: *replicas, Fragments: *fragments, ThirdParty: *thirdParty}
+	if *near != "" {
+		s, ok := geo.LookupSite(*near)
+		if !ok {
+			return fmt.Errorf("unknown site %q", *near)
+		}
+		opts.Near = &s.Loc
+	}
+	aug, err := t.Augment(x, opts)
+	if err != nil {
+		return err
+	}
+	log.Printf("augmented to %d replicas, %d mappings", aug.Replicas(), len(aug.Mappings))
+	return writeExnode(*out, aug)
+}
+
+func cmdTrim(args []string) error {
+	c := newFlags("trim")
+	indices := c.fs.String("segments", "", "comma-separated mapping indices to remove")
+	expired := c.fs.Bool("expired", false, "remove expired mappings")
+	replica := c.fs.Int("replica", -1, "remove this replica index entirely")
+	deleteIBP := c.fs.Bool("delete", false, "also delete the byte arrays from their depots")
+	out := c.fs.String("o", "-", "output exnode path")
+	c.fs.Parse(args)
+	if c.fs.NArg() != 1 {
+		return fmt.Errorf("trim wants exactly one exnode")
+	}
+	x, err := readExnode(c.fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	t, err := c.tools()
+	if err != nil {
+		return err
+	}
+	opts := core.TrimOptions{Expired: *expired, DeleteFromIBP: *deleteIBP}
+	if *indices != "" {
+		for _, part := range strings.Split(*indices, ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad segment index %q", part)
+			}
+			opts.Indices = append(opts.Indices, i)
+		}
+	}
+	if *replica >= 0 {
+		opts.Replica = replica
+	}
+	trimmed, err := t.Trim(x, opts)
+	if err != nil {
+		return err
+	}
+	log.Printf("trimmed %d -> %d mappings", len(x.Mappings), len(trimmed.Mappings))
+	return writeExnode(*out, trimmed)
+}
+
+func cmdRoute(args []string) error {
+	c := newFlags("route")
+	to := c.fs.String("to", "", "destination site (required)")
+	replicas := c.fs.Int("replicas", 1, "copies at the destination")
+	out := c.fs.String("o", "-", "output exnode path")
+	c.fs.Parse(args)
+	if c.fs.NArg() != 1 || *to == "" {
+		return fmt.Errorf("route wants one exnode and -to <site>")
+	}
+	x, err := readExnode(c.fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	s, ok := geo.LookupSite(*to)
+	if !ok {
+		return fmt.Errorf("unknown site %q", *to)
+	}
+	t, err := c.tools()
+	if err != nil {
+		return err
+	}
+	routed, err := t.Route(x, s.Loc, core.AugmentOptions{Replicas: *replicas})
+	if err != nil {
+		return err
+	}
+	log.Printf("routed to %s: %d mappings", s.Name, len(routed.Mappings))
+	return writeExnode(*out, routed)
+}
+
+func cmdVerify(args []string) error {
+	c := newFlags("verify")
+	c.fs.Parse(args)
+	if c.fs.NArg() != 1 {
+		return fmt.Errorf("verify wants exactly one exnode")
+	}
+	x, err := readExnode(c.fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	t, err := c.tools()
+	if err != nil {
+		return err
+	}
+	res := t.Verify(x)
+	for _, e := range res.Entries {
+		fmt.Printf("%3d %-12s %-8s [%d:%d)", e.Index, e.State, e.Mapping.Depot, e.Mapping.Offset, e.Mapping.End())
+		if e.Err != nil {
+			fmt.Printf("  %v", e.Err)
+		}
+		fmt.Println()
+	}
+	fmt.Println(res)
+	if !res.Healthy() {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdMaintain(args []string) error {
+	c := newFlags("maintain")
+	minCov := c.fs.Int("min-coverage", 2, "minimum available copies per extent")
+	refreshBelow := c.fs.Duration("refresh-below", 24*time.Hour, "refresh when any segment expires within this window")
+	refreshTo := c.fs.Duration("refresh-to", core.DefaultDuration, "new lifetime granted by refreshes and repairs")
+	out := c.fs.String("o", "", "write the maintained exnode here (default: in place)")
+	c.fs.Parse(args)
+	if c.fs.NArg() != 1 {
+		return fmt.Errorf("maintain wants exactly one exnode")
+	}
+	path := c.fs.Arg(0)
+	x, err := readExnode(path)
+	if err != nil {
+		return err
+	}
+	t, err := c.tools()
+	if err != nil {
+		return err
+	}
+	maintained, rep, err := t.Maintain(x, core.MaintainOptions{
+		MinCoverage:  *minCov,
+		RefreshBelow: *refreshBelow,
+		RefreshTo:    *refreshTo,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("maintain: refreshed %d, trimmed %d dead, added %d replicas; worst-extent coverage %d",
+		rep.Refreshed, rep.TrimmedDead, rep.AddedReplicas, rep.MinCoverage)
+	if *out == "" {
+		*out = path
+	}
+	return writeExnode(*out, maintained)
+}
+
+func cmdStatus(args []string) error {
+	c := newFlags("status")
+	c.fs.Parse(args)
+	if c.fs.NArg() != 1 {
+		return fmt.Errorf("status wants exactly one depot address")
+	}
+	t, err := c.tools()
+	if err != nil {
+		return err
+	}
+	st, err := t.IBP.Status(c.fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("depot %s: %d/%d bytes used (%d available), %d allocations, max duration %v\n",
+		c.fs.Arg(0), st.UsedBytes, st.TotalBytes, st.AvailableBytes(), st.Allocations, st.MaxDuration)
+	if m, err := t.IBP.Metrics(c.fs.Arg(0)); err == nil {
+		fmt.Printf("ops: %d allocate, %d store (%d B in), %d load (%d B out), %d probe, %d extend, %d delete\n",
+			m.Allocates, m.Stores, m.BytesIn, m.Loads, m.BytesOut, m.Probes, m.Extends, m.Deletes)
+		fmt.Printf("health: %d errors, %d cap violations, %d reaped, %d restored, %d connections\n",
+			m.Errors, m.Violations, m.Reaped, m.Restores, m.Connects)
+	}
+	return nil
+}

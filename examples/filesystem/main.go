@@ -1,0 +1,115 @@
+// Filesystem: the Logistical File System layer — the top of the stack
+// diagram (paper Figure 1), built here on top of exNodes and the tools.
+//
+// A namespace of directories and files is created over three depots; the
+// whole tree is then reconstructed from the root exNode alone, exactly the
+// way a capability-like handle should work.
+//
+// Run with: go run ./examples/filesystem
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/depot"
+	"repro/internal/exnode"
+	"repro/internal/geo"
+	"repro/internal/ibp"
+	"repro/internal/lbone"
+	"repro/internal/lfs"
+)
+
+func main() {
+	reg := lbone.NewRegistry(0, nil)
+	for i, site := range []geo.Site{geo.UTK, geo.UCSD, geo.Harvard} {
+		d, err := depot.Serve("127.0.0.1:0", depot.Config{
+			Secret:   []byte(fmt.Sprintf("fs-%d", i)),
+			Capacity: 64 << 20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+		reg.Register(lbone.DepotInfo{
+			Addr: d.Addr(), Name: site.Name + "-depot", Site: site.Name, Loc: site.Loc,
+			Capacity: 64 << 20, MaxDuration: 24 * time.Hour,
+		})
+	}
+	fs := &lfs.FS{
+		Tools: &core.Tools{
+			IBP:   ibp.NewClient(),
+			LBone: core.RegistrySource{Reg: reg},
+			Site:  geo.UTK.Name,
+			Loc:   geo.UTK.Loc,
+		},
+		Upload: core.UploadOptions{Replicas: 2, Duration: time.Hour, Checksum: true},
+	}
+
+	// Build a namespace:  /README, /papers/ipps02.txt, /papers/drafts/v2.txt
+	root := lfs.NewDir()
+	if _, err := fs.WriteFile(root, "README", []byte("the network storage stack\n")); err != nil {
+		log.Fatal(err)
+	}
+	papers, err := fs.Mkdir(root, "papers")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fs.WriteFile(papers, "ipps02.txt", []byte("fault-tolerance in the network storage stack\n")); err != nil {
+		log.Fatal(err)
+	}
+	drafts, err := fs.Mkdir(papers, "drafts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fs.WriteFile(drafts, "v2.txt", []byte("second draft\n")); err != nil {
+		log.Fatal(err)
+	}
+	// Persist bottom-up: children first, then the parents that name them.
+	if err := fs.SyncDir(papers, "drafts", drafts); err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.SyncDir(root, "papers", papers); err != nil {
+		log.Fatal(err)
+	}
+	rootX, err := fs.SaveDir(root, "root")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := exnode.Marshal(rootX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("namespace saved; the root handle is %d bytes of exnode XML\n\n", len(blob))
+
+	// A different client reconstructs everything from the root exNode.
+	reloaded, err := fs.LoadDir(rootX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	walk(fs, reloaded, "")
+	data, err := fs.ReadPath(reloaded, "papers/drafts/v2.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nread /papers/drafts/v2.txt -> %q\n", data)
+}
+
+// walk prints the tree, loading subdirectories from the network.
+func walk(fs *lfs.FS, d *lfs.Dir, indent string) {
+	for _, name := range d.Names() {
+		e, _ := d.Get(name)
+		if e.Kind == lfs.KindDir {
+			fmt.Printf("%s%s/\n", indent, name)
+			child, err := fs.LoadDir(e.ExNode)
+			if err != nil {
+				log.Fatal(err)
+			}
+			walk(fs, child, indent+"  ")
+		} else {
+			fmt.Printf("%s%s (%d bytes, %d mappings)\n", indent, name, e.ExNode.Size, len(e.ExNode.Mappings))
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Routing: moving a file through the network with augment + trim.
+//
+// The paper (§2.3) describes routing as a composition: "First it is
+// augmented so that it has replicas near the desired location, then it is
+// trimmed so that the old replicas are deleted." This example stores a
+// file at UTK, then routes it to Harvard while a client there watches its
+// download time drop, and finally refreshes its time limits.
+//
+// Run with: go run ./examples/routing
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/depot"
+	"repro/internal/exnode"
+	"repro/internal/faultnet"
+	"repro/internal/geo"
+	"repro/internal/ibp"
+	"repro/internal/lbone"
+	"repro/internal/vclock"
+)
+
+func main() {
+	start := time.Date(2002, 1, 11, 15, 0, 0, 0, time.UTC)
+	clk := vclock.NewVirtual(start)
+	model := faultnet.NewModel(clk, 3)
+	model.SetLocalLink(faultnet.Link{RTT: time.Millisecond, Mbps: 100})
+	// A slow transcontinental path makes the routing benefit visible.
+	model.SetLink(geo.UTK.Name, geo.Harvard.Name, faultnet.Link{RTT: 40 * time.Millisecond, Mbps: 2})
+	reg := lbone.NewRegistry(0, clk.Now)
+
+	for i, site := range []geo.Site{geo.UTK, geo.Harvard} {
+		d, err := depot.Serve("127.0.0.1:0", depot.Config{
+			Secret:   []byte(fmt.Sprintf("routing-%d", i)),
+			Capacity: 64 << 20,
+			Clock:    clk,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+		model.AddDepot(d.Addr(), faultnet.DepotState{Site: site.Name})
+		reg.Register(lbone.DepotInfo{
+			Addr: d.Addr(), Name: site.Name + "-depot", Site: site.Name, Loc: site.Loc,
+			Capacity: 64 << 20, MaxDuration: 24 * time.Hour,
+		})
+	}
+
+	newTools := func(site geo.Site) *core.Tools {
+		return &core.Tools{
+			IBP: ibp.NewClient(
+				ibp.WithDialer(model.DialerFrom(site.Name)),
+				ibp.WithClock(clk),
+			),
+			LBone: core.RegistrySource{Reg: reg},
+			Clock: clk,
+			Site:  site.Name,
+			Loc:   site.Loc,
+		}
+	}
+	utk := newTools(geo.UTK)
+	harvard := newTools(geo.Harvard)
+
+	// A producer at UTK stores the file close to itself.
+	data := bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 128<<10) // 1 MiB
+	near := geo.UTK.Loc
+	x, err := utk.Upload("dataset.dat", data, core.UploadOptions{
+		Near: &near, Duration: 6 * time.Hour, Checksum: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored at: %s\n", depotsOf(x))
+
+	timeFrom := func(t *core.Tools, who string) {
+		got, rep, err := t.Download(x, core.DownloadOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			log.Fatal("mismatch")
+		}
+		fmt.Printf("download from %-8s %8v  (served by %s)\n",
+			who, rep.Duration.Round(time.Millisecond), rep.Extents[0].Depot)
+	}
+	fmt.Println("\n--- before routing ---")
+	timeFrom(utk, "UTK:")
+	timeFrom(harvard, "Harvard:")
+
+	// A consumer at Harvard routes the file to itself: augment near
+	// Harvard, trim (and delete) the old UTK replica.
+	routed, err := harvard.Route(x, geo.Harvard.Loc, core.AugmentOptions{
+		Replicas: 1, Duration: 6 * time.Hour, Checksum: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	x = routed
+	fmt.Printf("\nrouted to: %s\n", depotsOf(x))
+	fmt.Println("\n--- after routing ---")
+	timeFrom(utk, "UTK:")
+	timeFrom(harvard, "Harvard:")
+
+	// Keep the moved file alive: push every allocation's expiry forward.
+	n, err := harvard.Refresh(x, 24*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrefreshed %d segment(s); first now expires %v\n", n, x.Mappings[0].Expires.UTC().Format(time.RFC1123))
+}
+
+func depotsOf(x *exnode.ExNode) string {
+	seen := map[string]bool{}
+	out := ""
+	for _, m := range x.Mappings {
+		if !seen[m.Depot] {
+			seen[m.Depot] = true
+			if out != "" {
+				out += ", "
+			}
+			out += m.Depot
+		}
+	}
+	return out
+}

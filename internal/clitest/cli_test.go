@@ -1,0 +1,285 @@
+// Package clitest builds the real binaries and drives them end-to-end over
+// loopback TCP — the closest thing to a user following the README.
+package clitest
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "nss-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	build := exec.Command("go", "build", "-o", dir,
+		"repro/cmd/ibp-depot", "repro/cmd/lbone-server", "repro/cmd/xnd", "repro/cmd/nws-server")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "building binaries:", err)
+		os.Exit(1)
+	}
+	binDir = dir
+	os.Exit(m.Run())
+}
+
+func bin(name string) string { return filepath.Join(binDir, name) }
+
+// daemon starts a binary and kills it at test end.
+func daemon(t *testing.T, name string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin(name), args...)
+	var logBuf bytes.Buffer
+	cmd.Stderr = &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		if t.Failed() {
+			t.Logf("%s log:\n%s", name, logBuf.String())
+		}
+	})
+}
+
+// waitListening blocks until addr accepts connections.
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s never came up", addr)
+}
+
+// run executes a CLI command, failing the test on error.
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin(name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", name, strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// freePorts reserves n distinct loopback ports.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	var addrs []string
+	var listeners []net.Listener
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+func TestCLIFullWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	addrs := freePorts(t, 4)
+	lboneAddr, d1Addr, d2Addr, nwsAddr := addrs[0], addrs[1], addrs[2], addrs[3]
+	work := t.TempDir()
+	secret := filepath.Join(work, "secret")
+	if err := os.WriteFile(secret, []byte("clitest-secret-0123456789"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	daemon(t, "lbone-server", "-listen", lboneAddr)
+	waitListening(t, lboneAddr)
+	daemon(t, "ibp-depot", "-listen", d1Addr, "-capacity", "104857600",
+		"-secret-file", secret, "-lbone", lboneAddr, "-name", "UTK1", "-site", "UTK")
+	daemon(t, "ibp-depot", "-listen", d2Addr, "-capacity", "104857600",
+		"-secret-file", secret, "-lbone", lboneAddr, "-name", "UCSD1", "-site", "UCSD")
+	daemon(t, "nws-server", "-listen", nwsAddr)
+	waitListening(t, d1Addr)
+	waitListening(t, d2Addr)
+	waitListening(t, nwsAddr)
+
+	// Source file.
+	data := bytes.Repeat([]byte("cli round trip "), 20_000) // 300 KB
+	src := filepath.Join(work, "src.dat")
+	if err := os.WriteFile(src, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	xnd := filepath.Join(work, "src.xnd")
+
+	// upload → ls → verify → download.
+	out := run(t, "xnd", "upload", "-lbone", lboneAddr, "-replicas", "2", "-fragments", "3",
+		"-o", xnd, src)
+	if !strings.Contains(out, "uploaded") {
+		t.Fatalf("upload output: %s", out)
+	}
+	out = run(t, "xnd", "ls", xnd)
+	if !strings.Contains(out, "availability now: 100.00%") {
+		t.Fatalf("ls output: %s", out)
+	}
+	out = run(t, "xnd", "verify", xnd)
+	if !strings.Contains(out, "6 ok, 0 corrupt") {
+		t.Fatalf("verify output: %s", out)
+	}
+	dst := filepath.Join(work, "dst.dat")
+	run(t, "xnd", "download", "-nws-server", nwsAddr, "-o", dst, xnd)
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("download mismatch")
+	}
+
+	// Range download.
+	part := filepath.Join(work, "part.dat")
+	run(t, "xnd", "download", "-offset", "1000", "-length", "5000", "-o", part, xnd)
+	gotPart, err := os.ReadFile(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotPart, data[1000:6000]) {
+		t.Fatal("range download mismatch")
+	}
+
+	// Encrypted round trip.
+	encX := filepath.Join(work, "enc.xnd")
+	run(t, "xnd", "upload", "-lbone", lboneAddr, "-encrypt-pass", "hunter2", "-o", encX, src)
+	blob, err := os.ReadFile(encX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `cipher="aes256-ctr"`) {
+		t.Fatal("exnode missing cipher metadata")
+	}
+	encOut := filepath.Join(work, "enc.dat")
+	run(t, "xnd", "download", "-decrypt-pass", "hunter2", "-o", encOut, encX)
+	gotEnc, _ := os.ReadFile(encOut)
+	if !bytes.Equal(gotEnc, data) {
+		t.Fatal("encrypted round trip mismatch")
+	}
+	// Wrong passphrase: output differs from the source.
+	badOut := filepath.Join(work, "bad.dat")
+	run(t, "xnd", "download", "-decrypt-pass", "wrong", "-o", badOut, encX)
+	gotBad, _ := os.ReadFile(badOut)
+	if bytes.Equal(gotBad, data) {
+		t.Fatal("wrong passphrase decrypted correctly")
+	}
+
+	// Reed-Solomon upload/download.
+	rsX := filepath.Join(work, "rs.xnd")
+	run(t, "xnd", "upload", "-lbone", lboneAddr, "-rs", "2,1", "-o", rsX, src)
+	rsOut := filepath.Join(work, "rs.dat")
+	run(t, "xnd", "download", "-o", rsOut, rsX)
+	gotRS, _ := os.ReadFile(rsOut)
+	if !bytes.Equal(gotRS, data) {
+		t.Fatal("RS round trip mismatch")
+	}
+
+	// refresh, maintain, trim, status.
+	run(t, "xnd", "refresh", "-duration", "48h", xnd)
+	out = run(t, "xnd", "maintain", "-lbone", lboneAddr, "-min-coverage", "2", xnd)
+	_ = out
+	trimX := filepath.Join(work, "trim.xnd")
+	run(t, "xnd", "trim", "-replica", "1", "-o", trimX, xnd)
+	run(t, "xnd", "download", "-o", dst, trimX)
+	got, _ = os.ReadFile(dst)
+	if !bytes.Equal(got, data) {
+		t.Fatal("download after trim mismatch")
+	}
+	out = run(t, "xnd", "status", d1Addr)
+	if !strings.Contains(out, "bytes used") || !strings.Contains(out, "ops:") {
+		t.Fatalf("status output: %s", out)
+	}
+}
+
+func TestCLIUsageAndErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real binaries")
+	}
+	// No args: usage on stderr, exit 2.
+	cmd := exec.Command(bin("xnd"))
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("bare xnd should exit non-zero")
+	}
+	if !strings.Contains(string(out), "usage: xnd") {
+		t.Fatalf("usage output: %s", out)
+	}
+	// Download of a nonexistent exnode fails cleanly.
+	cmd = exec.Command(bin("xnd"), "download", "/nonexistent.xnd")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("missing exnode should fail")
+	}
+}
+
+func TestCLIMaintainRepairsAfterDaemonDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real binaries")
+	}
+	addrs := freePorts(t, 3)
+	lboneAddr, d1Addr, d2Addr := addrs[0], addrs[1], addrs[2]
+	work := t.TempDir()
+	secret := filepath.Join(work, "secret")
+	os.WriteFile(secret, []byte("clitest-secret-0123456789"), 0o600)
+
+	daemon(t, "lbone-server", "-listen", lboneAddr)
+	waitListening(t, lboneAddr)
+	daemon(t, "ibp-depot", "-listen", d1Addr, "-capacity", "104857600",
+		"-secret-file", secret, "-lbone", lboneAddr, "-name", "UTK1", "-site", "UTK")
+	// The second depot is run directly so the test can kill it.
+	victim := exec.Command(bin("ibp-depot"), "-listen", d2Addr, "-capacity", "104857600",
+		"-secret-file", secret, "-lbone", lboneAddr, "-name", "UCSD1", "-site", "UCSD")
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { victim.Process.Kill(); victim.Wait() }()
+	waitListening(t, d1Addr)
+	waitListening(t, d2Addr)
+
+	data := bytes.Repeat([]byte("repairable "), 4096)
+	src := filepath.Join(work, "r.dat")
+	os.WriteFile(src, data, 0o644)
+	xnd := filepath.Join(work, "r.xnd")
+	run(t, "xnd", "upload", "-lbone", lboneAddr, "-replicas", "2", "-o", xnd, src)
+
+	// Kill the second depot daemon outright.
+	victim.Process.Kill()
+	victim.Wait()
+
+	// Maintain notices coverage dropped to 1 and repairs onto the
+	// survivor.
+	out := run(t, "xnd", "maintain", "-lbone", lboneAddr, "-min-coverage", "2", xnd)
+	if !strings.Contains(out, "added 1 replicas") {
+		t.Fatalf("maintain output: %s", out)
+	}
+	// Download still works after repair.
+	dst := filepath.Join(work, "r.out")
+	run(t, "xnd", "download", "-o", dst, xnd)
+	got, _ := os.ReadFile(dst)
+	if !bytes.Equal(got, data) {
+		t.Fatal("post-repair download mismatch")
+	}
+}

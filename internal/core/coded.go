@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/exnode"
+	"repro/internal/ibp"
+	"repro/internal/integrity"
+	"repro/internal/lbone"
+)
+
+// This file implements the paper's §4 future work: "with parity coding
+// blocks, we can equip the exnodes with the ability to use RAID techniques
+// to perform fault-tolerant downloads without requiring full replication.
+// To reduce storage needs further, Reed-Solomon coding may be employed as
+// well."
+
+// CodedOptions parameterize coded uploads.
+type CodedOptions struct {
+	// DataBlocks (k) and ParityBlocks (m): any k of k+m blocks rebuild
+	// the data. For XOR parity m is forced to 1.
+	DataBlocks   int
+	ParityBlocks int
+	// Duration, Reliability, Depots, Checksum as in UploadOptions.
+	Duration    time.Duration
+	Reliability ibp.Reliability
+	Depots      []lbone.DepotInfo
+	Checksum    bool
+}
+
+// UploadRS stores data as one Reed-Solomon coding group of k data and m
+// parity blocks, each on its own depot when enough are available.
+func (t *Tools) UploadRS(name string, data []byte, opts CodedOptions) (*exnode.ExNode, error) {
+	if opts.DataBlocks <= 0 {
+		return nil, errors.New("core: coded upload needs DataBlocks >= 1")
+	}
+	if opts.ParityBlocks <= 0 {
+		return nil, errors.New("core: coded upload needs ParityBlocks >= 1")
+	}
+	rs, err := erasure.NewRS(opts.DataBlocks, opts.ParityBlocks)
+	if err != nil {
+		return nil, err
+	}
+	blocks := erasure.Split(data, opts.DataBlocks)
+	parity, err := rs.Encode(blocks)
+	if err != nil {
+		return nil, err
+	}
+	return t.uploadCodingGroup(name, data, blocks, parity, exnode.FuncRSData, exnode.FuncRSParity, opts)
+}
+
+// UploadXOR stores data as k data blocks plus one XOR parity block — the
+// RAID-5 scheme, tolerating any single block loss at 1/k storage overhead.
+func (t *Tools) UploadXOR(name string, data []byte, opts CodedOptions) (*exnode.ExNode, error) {
+	if opts.DataBlocks <= 0 {
+		return nil, errors.New("core: coded upload needs DataBlocks >= 1")
+	}
+	opts.ParityBlocks = 1
+	blocks := erasure.Split(data, opts.DataBlocks)
+	parity, err := erasure.XORParity(blocks)
+	if err != nil {
+		return nil, err
+	}
+	return t.uploadCodingGroup(name, data, blocks, [][]byte{parity}, exnode.FuncRSData, exnode.FuncParity, opts)
+}
+
+func (t *Tools) uploadCodingGroup(name string, data []byte, blocks, parity [][]byte, dataFn, parityFn exnode.Function, opts CodedOptions) (*exnode.ExNode, error) {
+	if opts.Duration <= 0 {
+		opts.Duration = DefaultDuration
+	}
+	if opts.Reliability == "" {
+		opts.Reliability = ibp.Hard
+	}
+	depots := opts.Depots
+	if depots == nil {
+		if t.LBone == nil {
+			return nil, errors.New("core: coded upload needs explicit depots or an L-Bone")
+		}
+		var err error
+		depots, err = t.LBone.Query(lbone.Requirements{MinDuration: opts.Duration, Near: &t.Loc})
+		if err != nil {
+			return nil, fmt.Errorf("core: depot discovery: %w", err)
+		}
+	}
+	if len(depots) == 0 {
+		return nil, errors.New("core: no depots available for coded upload")
+	}
+	k, m := len(blocks), len(parity)
+	blockSize := int64(len(blocks[0]))
+	group := codingGroupID(name, 0)
+	x := exnode.New(name, int64(len(data)))
+	x.Created = t.clock().Now()
+	all := append(append([][]byte{}, blocks...), parity...)
+	for i, blk := range all {
+		depot := depots[i%len(depots)]
+		set, err := t.IBP.Allocate(depot.Addr, blockSize, opts.Duration, opts.Reliability)
+		if err != nil {
+			return nil, fmt.Errorf("core: coded upload block %d on %s: %w", i, depot.Name, err)
+		}
+		if _, err := t.IBP.Store(set.Write, blk); err != nil {
+			t.IBP.Delete(set.Manage)
+			return nil, fmt.Errorf("core: coded upload block %d on %s: %w", i, depot.Name, err)
+		}
+		fn := dataFn
+		if i >= k {
+			fn = parityFn
+		}
+		mp := &exnode.Mapping{
+			Offset:       0,
+			Length:       int64(len(data)),
+			Read:         set.Read,
+			Write:        set.Write,
+			Manage:       set.Manage,
+			Function:     fn,
+			Group:        group,
+			BlockIndex:   i,
+			DataBlocks:   k,
+			ParityBlocks: m,
+			BlockSize:    blockSize,
+			Depot:        depot.Name,
+			Expires:      t.clock().Now().Add(opts.Duration),
+		}
+		if opts.Checksum {
+			mp.Checksum = integrity.Sum(blk)
+		}
+		x.Add(mp)
+	}
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+func codingGroupID(name string, n int) string {
+	clean := strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' || r == '\t' {
+			return '_'
+		}
+		return r
+	}, name)
+	return fmt.Sprintf("%s.g%d", clean, n)
+}
+
+// recoverFromCoding rebuilds extent ext from a coding group covering it,
+// loading at least k of its blocks and decoding. It returns a display name
+// describing the recovery source.
+func (t *Tools) recoverFromCoding(x *exnode.ExNode, ext exnode.Extent, dst []byte, opts DownloadOptions) (string, error) {
+	groups := x.CodingGroups()
+	if len(groups) == 0 {
+		return "", errors.New("core: no coding groups in exnode")
+	}
+	var lastErr error
+	for _, ms := range groups {
+		if len(ms) == 0 {
+			continue
+		}
+		g := ms[0]
+		if !(g.Offset <= ext.Start && ext.End <= g.Offset+g.Length) {
+			continue // group does not protect this extent
+		}
+		data, err := t.decodeGroup(ms, opts)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		copy(dst, data[ext.Start-g.Offset:ext.End-g.Offset])
+		return fmt.Sprintf("coded(%s)", g.Group), nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("core: no coding group covers the extent")
+	}
+	return "", lastErr
+}
+
+// decodeGroup loads the group's surviving blocks and reconstructs the
+// original group payload.
+func (t *Tools) decodeGroup(ms []*exnode.Mapping, opts DownloadOptions) ([]byte, error) {
+	g := ms[0]
+	k, m := g.DataBlocks, g.ParityBlocks
+	blocks := make([][]byte, k+m)
+	survivors := 0
+	isRS := false
+	for _, mp := range ms {
+		if mp.Function == exnode.FuncRSParity {
+			isRS = true
+		}
+	}
+	for _, mp := range ms {
+		if survivors >= k && allDataPresent(blocks, k) {
+			break
+		}
+		data, err := t.IBP.Load(mp.Read, 0, mp.BlockSize)
+		if err != nil {
+			t.logf("core: coded block %d (%s) unavailable: %v", mp.BlockIndex, mp.Depot, err)
+			continue
+		}
+		if !opts.SkipVerify && mp.Checksum != "" {
+			if err := integrity.Verify(data, mp.Checksum); err != nil {
+				t.logf("core: coded block %d (%s) corrupt: %v", mp.BlockIndex, mp.Depot, err)
+				continue
+			}
+		}
+		if mp.BlockIndex >= 0 && mp.BlockIndex < len(blocks) && blocks[mp.BlockIndex] == nil {
+			blocks[mp.BlockIndex] = data
+			survivors++
+		}
+	}
+	var dataBlocks [][]byte
+	var err error
+	if isRS {
+		rs, rerr := erasure.NewRS(k, m)
+		if rerr != nil {
+			return nil, rerr
+		}
+		dataBlocks, err = rs.Decode(blocks)
+	} else {
+		dataBlocks, err = erasure.XORRecover(blocks)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return erasure.Join(dataBlocks, int(g.Length)), nil
+}
+
+func allDataPresent(blocks [][]byte, k int) bool {
+	for i := 0; i < k; i++ {
+		if blocks[i] == nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/exnode"
+	"repro/internal/geo"
+	"repro/internal/integrity"
+	"repro/internal/nws"
+	"repro/internal/sealing"
+)
+
+// Strategy selects how download candidates are ordered (paper §2.3).
+type Strategy int
+
+// Download strategies.
+const (
+	// StrategyAuto uses NWS forecasts when an NWS service is configured,
+	// otherwise static proximity — exactly the paper's described
+	// behaviour.
+	StrategyAuto Strategy = iota
+	// StrategyNWS ranks candidates by forecast bandwidth, highest first.
+	StrategyNWS
+	// StrategyStatic ranks candidates by great-circle distance from the
+	// client ("static, albeit unoptimal metrics").
+	StrategyStatic
+	// StrategyRandom shuffles candidates (baseline for the ablation
+	// bench).
+	StrategyRandom
+)
+
+// DownloadOptions parameterize Download.
+type DownloadOptions struct {
+	// Strategy orders candidate depots (default StrategyAuto).
+	Strategy Strategy
+	// Parallelism is the number of concurrent extent fetchers; 0 or 1
+	// reproduces the paper's sequential download, >1 implements the
+	// "threaded retrievals" future work.
+	Parallelism int
+	// MaxAttemptsPerExtent bounds failover (0 = try every candidate).
+	MaxAttemptsPerExtent int
+	// SkipVerify disables end-to-end checksum verification even when the
+	// exNode records digests.
+	SkipVerify bool
+	// Seed makes StrategyRandom deterministic.
+	Seed int64
+	// DisableCoding skips parity/Reed-Solomon recovery when replicas
+	// fail (for ablation benches).
+	DisableCoding bool
+	// DecryptionKey unseals an encrypted exNode after retrieval. Required
+	// when the exNode records a cipher, unless Raw is set.
+	DecryptionKey []byte
+	// Raw returns the stored ciphertext of an encrypted exNode without
+	// decrypting — what Augment uses to replicate sealed data without
+	// ever holding the key.
+	Raw bool
+	// Budget bounds the whole download in (possibly simulated) time:
+	// once exceeded, remaining extents are not attempted and the download
+	// fails with ErrBudgetExceeded. Zero means no bound. Only the
+	// sequential path enforces it (parallel workers would race the
+	// check).
+	Budget time.Duration
+}
+
+// ErrBudgetExceeded is returned when DownloadOptions.Budget runs out.
+var ErrBudgetExceeded = errors.New("core: download time budget exceeded")
+
+// ErrEncrypted is returned when downloading an encrypted exNode without a
+// key.
+var ErrEncrypted = errors.New("core: exnode is encrypted; supply DownloadOptions.DecryptionKey or set Raw")
+
+// ExtentReport records how one extent of a download was served.
+type ExtentReport struct {
+	Start, End int64
+	Depot      string // depot display name that served it ("" on failure)
+	Addr       string // depot address
+	Attempts   int    // candidates tried (including the winner)
+	Coded      bool   // served via parity/RS recovery instead of a replica
+	Err        error  // non-nil when the extent could not be retrieved
+}
+
+// Report summarizes a download for the experiment harness.
+type Report struct {
+	Extents   []ExtentReport
+	Duration  time.Duration
+	Bytes     int64
+	Failovers int // failed attempts across all extents
+}
+
+// OK reports whether every extent was retrieved.
+func (r *Report) OK() bool {
+	for _, e := range r.Extents {
+		if e.Err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Download retrieves the entire file described by x.
+func (t *Tools) Download(x *exnode.ExNode, opts DownloadOptions) ([]byte, *Report, error) {
+	return t.DownloadRange(x, 0, x.Size, opts)
+}
+
+// DownloadRange retrieves bytes [offset, offset+length) of the file: the
+// range is split into extents at segment boundaries, each extent is
+// fetched from the best candidate depot with failover, and coded blocks
+// are used for recovery when every replica of an extent is unavailable.
+func (t *Tools) DownloadRange(x *exnode.ExNode, offset, length int64, opts DownloadOptions) ([]byte, *Report, error) {
+	if err := x.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if offset < 0 || offset+length > x.Size || length < 0 {
+		return nil, nil, fmt.Errorf("core: range [%d,%d) outside file of %d bytes", offset, offset+length, x.Size)
+	}
+	start := t.clock().Now()
+	exts := x.Boundaries(offset, offset+length)
+	buf := make([]byte, length)
+	report := &Report{Extents: make([]ExtentReport, len(exts))}
+
+	dir := t.staticDirectoryIfNeeded(x, opts)
+	workers := opts.Parallelism
+	if workers <= 1 {
+		for i, ext := range exts {
+			if opts.Budget > 0 && t.clock().Since(start) > opts.Budget {
+				report.Extents[i] = ExtentReport{Start: ext.Start, End: ext.End, Err: ErrBudgetExceeded}
+				continue
+			}
+			er := t.fetchExtent(x, ext, buf[ext.Start-offset:ext.End-offset], opts, dir, i)
+			report.Extents[i] = er
+			report.Failovers += er.Attempts
+			if er.Err == nil && er.Attempts > 0 {
+				report.Failovers-- // the successful attempt is not a failover
+			}
+		}
+	} else {
+		type job struct {
+			idx int
+			ext exnode.Extent
+		}
+		jobs := make(chan job)
+		done := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			go func() {
+				for j := range jobs {
+					er := t.fetchExtent(x, j.ext, buf[j.ext.Start-offset:j.ext.End-offset], opts, dir, j.idx)
+					report.Extents[j.idx] = er
+				}
+				done <- struct{}{}
+			}()
+		}
+		for i, ext := range exts {
+			jobs <- job{i, ext}
+		}
+		close(jobs)
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		for _, er := range report.Extents {
+			report.Failovers += er.Attempts
+			if er.Err == nil && er.Attempts > 0 {
+				report.Failovers--
+			}
+		}
+	}
+
+	report.Duration = t.clock().Since(start)
+	report.Bytes = length
+	for _, er := range report.Extents {
+		if er.Err != nil {
+			return nil, report, fmt.Errorf("core: download %q: extent [%d,%d): %w",
+				x.Name, er.Start, er.End, er.Err)
+		}
+	}
+	buf, err := t.unsealRange(x, buf, offset, opts)
+	if err != nil {
+		return nil, report, err
+	}
+	return buf, report, nil
+}
+
+// unsealRange decrypts downloaded bytes when the exNode is encrypted. CTR
+// mode makes arbitrary offsets decryptable independently.
+func (t *Tools) unsealRange(x *exnode.ExNode, buf []byte, offset int64, opts DownloadOptions) ([]byte, error) {
+	if !x.Encrypted() || opts.Raw {
+		return buf, nil
+	}
+	if opts.DecryptionKey == nil {
+		return nil, ErrEncrypted
+	}
+	if x.Cipher != sealing.CipherAES256CTR {
+		return nil, fmt.Errorf("core: unsupported cipher %q", x.Cipher)
+	}
+	iv, err := sealing.DecodeIV(x.IV)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := sealing.UnsealAt(opts.DecryptionKey, iv, buf, offset)
+	if err != nil {
+		return nil, fmt.Errorf("core: unsealing %q: %w", x.Name, err)
+	}
+	return plain, nil
+}
+
+// staticDirectoryIfNeeded resolves the L-Bone directory only when static
+// ranking can be consulted.
+func (t *Tools) staticDirectoryIfNeeded(x *exnode.ExNode, opts DownloadOptions) map[string]geo.Point {
+	strat := t.effectiveStrategy(opts.Strategy)
+	if strat == StrategyRandom {
+		return nil
+	}
+	out := map[string]geo.Point{}
+	for addr, info := range t.depotDirectory() {
+		out[addr] = info.Loc
+	}
+	return out
+}
+
+func (t *Tools) effectiveStrategy(s Strategy) Strategy {
+	if s == StrategyAuto {
+		if t.NWS != nil {
+			return StrategyNWS
+		}
+		return StrategyStatic
+	}
+	return s
+}
+
+// fetchExtent retrieves one extent into dst with ranked failover.
+func (t *Tools) fetchExtent(x *exnode.ExNode, ext exnode.Extent, dst []byte, opts DownloadOptions, dir map[string]geo.Point, seedMix int) ExtentReport {
+	cands := t.rankCandidates(x.Candidates(ext), opts, dir, seedMix)
+	er := ExtentReport{Start: ext.Start, End: ext.End}
+	max := opts.MaxAttemptsPerExtent
+	for i, m := range cands {
+		if max > 0 && i >= max {
+			break
+		}
+		er.Attempts++
+		if err := t.attempt(m, ext, dst, opts); err != nil {
+			t.logf("core: extent [%d,%d): depot %s failed: %v", ext.Start, ext.End, m.Depot, err)
+			er.Err = err
+			continue
+		}
+		er.Depot = m.Depot
+		er.Addr = m.Read.Addr
+		er.Err = nil
+		return er
+	}
+	// Every replica failed (or none existed): try coded recovery.
+	if !opts.DisableCoding {
+		if depot, err := t.recoverFromCoding(x, ext, dst, opts); err == nil {
+			er.Depot = depot
+			er.Coded = true
+			er.Err = nil
+			return er
+		} else {
+			t.logf("core: extent [%d,%d): coded recovery failed: %v", ext.Start, ext.End, err)
+			if er.Err == nil {
+				er.Err = err
+			}
+		}
+	}
+	if er.Err == nil {
+		er.Err = exnode.ErrNoCoverage
+	}
+	return er
+}
+
+// attempt loads ext from one mapping and verifies integrity when possible.
+func (t *Tools) attempt(m *exnode.Mapping, ext exnode.Extent, dst []byte, opts DownloadOptions) error {
+	off := ext.Start - m.Offset
+	t0 := t.clock().Now()
+	data, err := t.IBP.Load(m.Read, off, ext.Len())
+	if err != nil {
+		return err
+	}
+	elapsed := t.clock().Since(t0)
+	// Feed the observation back into NWS: real downloads are the best
+	// bandwidth sensor.
+	if t.NWS != nil && elapsed > 0 {
+		mbits := float64(ext.Len()*8) / 1e6 / elapsed.Seconds()
+		t.NWS.Record(t.Site, m.Read.Addr, nws.Bandwidth, mbits)
+	}
+	// End-to-end verification is possible when the extent spans the whole
+	// mapping (the digest covers the full stored fragment).
+	if !opts.SkipVerify && m.Checksum != "" && off == 0 && ext.Len() == m.Length {
+		if err := integrity.Verify(data, m.Checksum); err != nil {
+			return err
+		}
+	}
+	copy(dst, data)
+	return nil
+}
+
+// rankCandidates orders mappings per the strategy.
+func (t *Tools) rankCandidates(cands []*exnode.Mapping, opts DownloadOptions, dir map[string]geo.Point, seedMix int) []*exnode.Mapping {
+	out := append([]*exnode.Mapping(nil), cands...)
+	switch t.effectiveStrategy(opts.Strategy) {
+	case StrategyRandom:
+		rng := rand.New(rand.NewSource(opts.Seed + int64(seedMix)*7919))
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	case StrategyNWS:
+		// Forecast bandwidth per candidate; candidates without forecasts
+		// rank below all forecasted ones, ordered statically.
+		type scored struct {
+			m  *exnode.Mapping
+			bw float64
+			ok bool
+			d  float64
+		}
+		ss := make([]scored, len(out))
+		for i, m := range out {
+			s := scored{m: m, d: t.staticDistance(m, dir)}
+			if t.NWS != nil {
+				s.bw, s.ok = t.NWS.Forecast(t.Site, m.Read.Addr, nws.Bandwidth)
+			}
+			ss[i] = s
+		}
+		sort.SliceStable(ss, func(i, j int) bool {
+			if ss[i].ok != ss[j].ok {
+				return ss[i].ok
+			}
+			if ss[i].ok {
+				return ss[i].bw > ss[j].bw
+			}
+			return ss[i].d < ss[j].d
+		})
+		for i, s := range ss {
+			out[i] = s.m
+		}
+	default: // StrategyStatic
+		sort.SliceStable(out, func(i, j int) bool {
+			return t.staticDistance(out[i], dir) < t.staticDistance(out[j], dir)
+		})
+	}
+	return out
+}
+
+func (t *Tools) staticDistance(m *exnode.Mapping, dir map[string]geo.Point) float64 {
+	if dir == nil {
+		return math.Inf(1)
+	}
+	p, ok := dir[m.Read.Addr]
+	if !ok {
+		return math.Inf(1)
+	}
+	return geo.Distance(t.Loc, p)
+}

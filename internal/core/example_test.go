@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/depot"
+	"repro/internal/exnode"
+	"repro/internal/geo"
+	"repro/internal/ibp"
+	"repro/internal/lbone"
+)
+
+// Example shows the complete life of a file on the Network Storage Stack:
+// upload as a striped+replicated exNode, share via XML, download.
+func Example() {
+	// Storage owners run depots; here, two in-process ones.
+	reg := lbone.NewRegistry(0, nil)
+	for i, site := range []geo.Site{geo.UTK, geo.UCSD} {
+		d, err := depot.Serve("127.0.0.1:0", depot.Config{
+			Secret:   []byte{byte(i), 10, 20, 30},
+			Capacity: 32 << 20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+		reg.Register(lbone.DepotInfo{
+			Addr: d.Addr(), Name: site.Name + "-depot", Site: site.Name, Loc: site.Loc,
+			Capacity: 32 << 20, MaxDuration: time.Hour,
+		})
+	}
+
+	tools := &core.Tools{
+		IBP:   ibp.NewClient(),
+		LBone: core.RegistrySource{Reg: reg},
+		Site:  geo.UTK.Name,
+		Loc:   geo.UTK.Loc,
+	}
+
+	data := bytes.Repeat([]byte("exnode "), 1024)
+	x, err := tools.Upload("demo.dat", data, core.UploadOptions{
+		Replicas:  2,
+		Fragments: 2,
+		Duration:  time.Hour,
+		Checksum:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The exNode is plain XML: serialize, "mail it to a friend", parse.
+	blob, err := exnode.Marshal(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared, err := exnode.Unmarshal(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	got, _, err := tools.Download(shared, core.DownloadOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replicas:", shared.Replicas())
+	fmt.Println("round trip ok:", bytes.Equal(got, data))
+	// Output:
+	// replicas: 2
+	// round trip ok: true
+}

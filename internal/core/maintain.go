@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exnode"
+	"repro/internal/geo"
+	"repro/internal/lbone"
+	"repro/internal/wire"
+)
+
+// Maintain is a first cut at the replication-strategy research the paper
+// calls for ("the decision-making of how to replicate, stripe, and route
+// files... is work that we will address in the future", §4): a single
+// maintenance pass that keeps an exNode retrievable over time by
+// refreshing expiring allocations, trimming dead mappings, and re-growing
+// redundancy when coverage has decayed below a floor.
+
+// MaintainOptions tune a maintenance pass.
+type MaintainOptions struct {
+	// MinCoverage is the minimum number of available copies every extent
+	// should have; Maintain augments when any extent falls below it
+	// (default 2 — the paper's Test 3 floor).
+	MinCoverage int
+	// RefreshBelow triggers a Refresh when any mapping expires within
+	// this window (default 24h).
+	RefreshBelow time.Duration
+	// RefreshTo is the new lifetime granted by the refresh (default
+	// DefaultDuration).
+	RefreshTo time.Duration
+	// Near places repair replicas (default: the client's location).
+	Near *geo.Point
+	// Depots bypasses discovery for repair uploads.
+	Depots []lbone.DepotInfo
+	// Download tunes the repair read path.
+	Download DownloadOptions
+}
+
+// MaintainReport says what a pass did.
+type MaintainReport struct {
+	Refreshed     int // allocations whose lifetime was extended
+	TrimmedDead   int // mappings dropped because their depot no longer has them
+	AddedReplicas int // repair copies uploaded
+	MinCoverage   int // worst-extent coverage after the pass
+}
+
+// Maintain runs one maintenance pass and returns the (possibly new)
+// exNode. The input exNode is not mutated except for refreshed expiration
+// timestamps.
+func (t *Tools) Maintain(x *exnode.ExNode, opts MaintainOptions) (*exnode.ExNode, *MaintainReport, error) {
+	if opts.MinCoverage <= 0 {
+		opts.MinCoverage = 2
+	}
+	if opts.RefreshBelow <= 0 {
+		opts.RefreshBelow = 24 * time.Hour
+	}
+	if opts.RefreshTo <= 0 {
+		opts.RefreshTo = DefaultDuration
+	}
+	rep := &MaintainReport{}
+
+	// 1. Probe every mapping.
+	entries := t.List(x)
+
+	// 2. Refresh soon-expiring allocations (across the whole exnode: one
+	//    partially-refreshed exnode beats an expired one).
+	now := t.clock().Now()
+	needsRefresh := false
+	for _, e := range entries {
+		if e.Available && !e.Expires.IsZero() && e.Expires.Before(now.Add(opts.RefreshBelow)) {
+			needsRefresh = true
+			break
+		}
+	}
+	if needsRefresh {
+		n, err := t.Refresh(x, opts.RefreshTo)
+		if err != nil {
+			t.logf("core: maintain: refresh: %v", err)
+		}
+		rep.Refreshed = n
+	}
+
+	// 3. Drop mappings whose allocations are gone for good (expired or
+	//    deleted). A depot merely being down is NOT grounds for trimming —
+	//    the paper's depots came back. Only trim when the depot answered
+	//    and said "no such allocation".
+	out := x.Clone()
+	var deadIdx []int
+	for i, e := range entries {
+		if e.Available {
+			continue
+		}
+		if gone := t.allocationGone(x.Mappings[i]); gone {
+			deadIdx = append(deadIdx, i)
+		}
+	}
+	if len(deadIdx) > 0 {
+		trimmed, err := t.Trim(out, TrimOptions{Indices: deadIdx})
+		if err != nil {
+			return nil, rep, fmt.Errorf("core: maintain: trim: %w", err)
+		}
+		out = trimmed
+		rep.TrimmedDead = len(deadIdx)
+	}
+
+	// 4. Measure worst-extent coverage counting only currently-available
+	//    mappings, and repair if below the floor.
+	coverage := t.worstCoverage(out)
+	if coverage < opts.MinCoverage {
+		add := opts.MinCoverage - coverage
+		aug, err := t.Augment(out, AugmentOptions{
+			Replicas: add,
+			Near:     opts.Near,
+			Depots:   opts.Depots,
+			Duration: opts.RefreshTo,
+			Checksum: true,
+			Download: opts.Download,
+		})
+		if err != nil {
+			return out, rep, fmt.Errorf("core: maintain: repair: %w", err)
+		}
+		out = aug
+		rep.AddedReplicas = add
+	}
+	rep.MinCoverage = t.worstCoverage(out)
+	return out, rep, nil
+}
+
+// allocationGone distinguishes "depot down" from "allocation gone": it
+// reports true only when the depot is reachable and answers NOT_FOUND or
+// EXPIRED for the mapping.
+func (t *Tools) allocationGone(m *exnode.Mapping) bool {
+	if m.Manage.IsZero() {
+		return false
+	}
+	_, err := t.IBP.Probe(m.Manage)
+	if err == nil {
+		return false
+	}
+	return isGoneError(err)
+}
+
+// worstCoverage returns the minimum, over extents of the file, of the
+// number of currently-available replica mappings covering the extent.
+func (t *Tools) worstCoverage(x *exnode.ExNode) int {
+	avail := map[*exnode.Mapping]bool{}
+	for _, m := range x.Mappings {
+		if !m.IsReplica() {
+			continue
+		}
+		if _, err := t.IBP.Probe(m.Manage); err == nil {
+			avail[m] = true
+		}
+	}
+	min := -1
+	for _, ext := range x.Boundaries(0, x.Size) {
+		n := 0
+		for _, m := range x.Candidates(ext) {
+			if avail[m] {
+				n++
+			}
+		}
+		if min == -1 || n < min {
+			min = n
+		}
+	}
+	if min == -1 {
+		return 0
+	}
+	return min
+}
+
+// isGoneError reports whether an IBP error means the allocation is
+// permanently gone.
+func isGoneError(err error) bool { return wire.IsGone(err) }

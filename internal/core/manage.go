@@ -1,0 +1,282 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/exnode"
+	"repro/internal/geo"
+	"repro/internal/ibp"
+	"repro/internal/lbone"
+)
+
+// Refresh extends the time limits of every IBP byte array composing the
+// file to now+duration (paper §2.3). It updates mapping expirations in
+// place and returns the number refreshed plus the first error encountered
+// (refreshing continues past individual failures — a partially refreshed
+// exNode is still better than an expired one).
+func (t *Tools) Refresh(x *exnode.ExNode, duration time.Duration) (int, error) {
+	var firstErr error
+	refreshed := 0
+	for _, m := range x.Mappings {
+		if m.Manage.IsZero() {
+			continue
+		}
+		exp, err := t.IBP.Extend(m.Manage, duration)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: refresh %s segment [%d,%d): %w", m.Depot, m.Offset, m.End(), err)
+			}
+			continue
+		}
+		m.Expires = exp
+		refreshed++
+	}
+	return refreshed, firstErr
+}
+
+// AugmentOptions parameterize Augment.
+type AugmentOptions struct {
+	// Replicas is how many new copies to add (default 1).
+	Replicas int
+	// Fragments per new replica (default 1).
+	Fragments int
+	// Near places the new replicas close to this point (paper §2.3:
+	// "these replicas may have a specified network proximity").
+	Near *geo.Point
+	// Depots bypasses discovery.
+	Depots []lbone.DepotInfo
+	// Duration for the new allocations.
+	Duration time.Duration
+	// Checksum new fragments.
+	Checksum bool
+	// Download tuning used to fetch the current contents.
+	Download DownloadOptions
+	// ThirdParty replicates with depot-to-depot COPY transfers instead of
+	// downloading and re-uploading: the data never passes through this
+	// client. Requires a fully-available source replica; fragment
+	// boundaries (and checksums) of that replica are preserved.
+	ThirdParty bool
+}
+
+// Augment adds replicas to the exNode and returns an updated copy: it
+// downloads the file's current contents, uploads the new copies, and
+// merges the mappings (paper §2.3).
+func (t *Tools) Augment(x *exnode.ExNode, opts AugmentOptions) (*exnode.ExNode, error) {
+	if opts.Replicas <= 0 {
+		opts.Replicas = 1
+	}
+	if opts.ThirdParty {
+		return t.augmentThirdParty(x, opts)
+	}
+	dlOpts := opts.Download
+	if x.Encrypted() && dlOpts.DecryptionKey == nil {
+		// Replicate the sealed bytes verbatim: augment never needs the key.
+		dlOpts.Raw = true
+	}
+	data, _, err := t.Download(x, dlOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: augment: fetching current contents: %w", err)
+	}
+	addition, err := t.Upload(x.Name, data, UploadOptions{
+		Replicas:  opts.Replicas,
+		Fragments: opts.Fragments,
+		Near:      opts.Near,
+		Depots:    opts.Depots,
+		Duration:  opts.Duration,
+		Checksum:  opts.Checksum,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: augment: %w", err)
+	}
+	out := x.Clone()
+	base := 0
+	for _, m := range out.Mappings {
+		if m.IsReplica() && m.Replica+1 > base {
+			base = m.Replica + 1
+		}
+	}
+	for _, m := range addition.Mappings {
+		mm := *m
+		mm.Replica += base
+		out.Add(&mm)
+	}
+	return out, out.Validate()
+}
+
+// augmentThirdParty adds replicas with depot-to-depot COPY: for each
+// fragment of a fully-available source replica, it allocates space on a
+// target depot and asks the source depot to push the bytes directly.
+func (t *Tools) augmentThirdParty(x *exnode.ExNode, opts AugmentOptions) (*exnode.ExNode, error) {
+	duration := opts.Duration
+	if duration <= 0 {
+		duration = DefaultDuration
+	}
+	targets := opts.Depots
+	if targets == nil {
+		if t.LBone == nil {
+			return nil, errors.New("core: third-party augment needs explicit depots or an L-Bone")
+		}
+		near := opts.Near
+		if near == nil {
+			near = &t.Loc
+		}
+		var err error
+		targets, err = t.LBone.Query(lbone.Requirements{MinDuration: duration, Near: near})
+		if err != nil {
+			return nil, fmt.Errorf("core: depot discovery: %w", err)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("core: no depots available for third-party augment")
+	}
+	source, err := t.pickAvailableReplica(x)
+	if err != nil {
+		return nil, fmt.Errorf("core: third-party augment: %w", err)
+	}
+
+	out := x.Clone()
+	base := 0
+	for _, m := range out.Mappings {
+		if m.IsReplica() && m.Replica+1 > base {
+			base = m.Replica + 1
+		}
+	}
+	now := t.clock().Now()
+	for r := 0; r < opts.Replicas; r++ {
+		for j, src := range source {
+			target := targets[(j+r)%len(targets)]
+			set, err := t.IBP.Allocate(target.Addr, src.Length, duration, ibp.Hard)
+			if err != nil {
+				return nil, fmt.Errorf("core: third-party augment on %s: %w", target.Name, err)
+			}
+			if _, err := t.IBP.Copy(src.Read, 0, src.Length, set.Write); err != nil {
+				t.IBP.Delete(set.Manage)
+				return nil, fmt.Errorf("core: third-party copy %s -> %s: %w", src.Depot, target.Name, err)
+			}
+			out.Add(&exnode.Mapping{
+				Offset:   src.Offset,
+				Length:   src.Length,
+				Read:     set.Read,
+				Write:    set.Write,
+				Manage:   set.Manage,
+				Replica:  base + r,
+				Depot:    target.Name,
+				Expires:  now.Add(duration),
+				Checksum: src.Checksum, // same bytes, same digest
+			})
+		}
+	}
+	return out, out.Validate()
+}
+
+// pickAvailableReplica returns the fragments of a replica that fully
+// covers the file with every fragment currently reachable.
+func (t *Tools) pickAvailableReplica(x *exnode.ExNode) ([]*exnode.Mapping, error) {
+	for _, r := range t.rankReplicas(x) {
+		ms := x.ReplicaMappings(r)
+		if len(ms) == 0 {
+			continue
+		}
+		complete := true
+		var pos int64
+		for _, m := range ms {
+			if m.Offset > pos {
+				complete = false
+				break
+			}
+			if m.End() > pos {
+				pos = m.End()
+			}
+			if _, err := t.IBP.Probe(m.Manage); err != nil {
+				complete = false
+				break
+			}
+		}
+		if complete && pos >= x.Size {
+			return ms, nil
+		}
+	}
+	return nil, errors.New("no fully-available replica to copy from")
+}
+
+// TrimOptions select which fragments Trim removes.
+type TrimOptions struct {
+	// Indices removes specific mappings by index into x.Mappings.
+	Indices []int
+	// Expired removes every mapping whose expiration has passed.
+	Expired bool
+	// Replica, when non-nil, removes all mappings of that replica index.
+	Replica *int
+	// DeleteFromIBP also decrements the IBP allocations (paper §2.3:
+	// "the fragments may be only deleted from the exnode, and not from
+	// IBP").
+	DeleteFromIBP bool
+}
+
+// Trim deletes fragments from the exNode and returns a new exNode (paper
+// §2.3). Unless TrimOptions.DeleteFromIBP is set the byte arrays remain on
+// their depots.
+func (t *Tools) Trim(x *exnode.ExNode, opts TrimOptions) (*exnode.ExNode, error) {
+	if opts.Replica == nil && len(opts.Indices) == 0 && !opts.Expired {
+		return nil, errors.New("core: trim: nothing selected")
+	}
+	doomedIdx := map[int]bool{}
+	for _, i := range opts.Indices {
+		if i < 0 || i >= len(x.Mappings) {
+			return nil, fmt.Errorf("core: trim: index %d out of range", i)
+		}
+		doomedIdx[i] = true
+	}
+	now := t.clock().Now()
+	out := x.Clone()
+	var kept []*exnode.Mapping
+	for i, m := range out.Mappings {
+		doomed := doomedIdx[i]
+		if opts.Expired && !m.Expires.IsZero() && now.After(m.Expires) {
+			doomed = true
+		}
+		if opts.Replica != nil && m.IsReplica() && m.Replica == *opts.Replica {
+			doomed = true
+		}
+		if !doomed {
+			kept = append(kept, m)
+			continue
+		}
+		if opts.DeleteFromIBP && !m.Manage.IsZero() {
+			if _, err := t.IBP.Delete(m.Manage); err != nil {
+				t.logf("core: trim: deleting segment on %s: %v", m.Depot, err)
+			}
+		}
+	}
+	out.Mappings = kept
+	return out, out.Validate()
+}
+
+// Route moves the file toward a new network location by combining augment
+// and trim (paper §2.3 "Routing"): first replicate near the target, then
+// drop the old replicas.
+func (t *Tools) Route(x *exnode.ExNode, near geo.Point, opts AugmentOptions) (*exnode.ExNode, error) {
+	opts.Near = &near
+	augmented, err := t.Augment(x, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: route: %w", err)
+	}
+	// Drop every replica that existed before augmentation.
+	old := map[int]bool{}
+	for _, m := range x.Mappings {
+		if m.IsReplica() {
+			old[m.Replica] = true
+		}
+	}
+	out := augmented
+	for r := range old {
+		r := r
+		out, err = t.Trim(out, TrimOptions{Replica: &r, DeleteFromIBP: true})
+		if err != nil {
+			return nil, fmt.Errorf("core: route: trimming old replica %d: %w", r, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/exnode"
+)
+
+// streamReader implements the paper's streaming download mode ("the
+// download may operate in a streaming fashion, so that the client only has
+// to consume small, discrete portions of the file at a time", §2.3):
+// extents are fetched lazily as the caller reads.
+type streamReader struct {
+	t      *Tools
+	x      *exnode.ExNode
+	opts   DownloadOptions
+	exts   []exnode.Extent
+	next   int    // next extent to fetch
+	buf    []byte // unread remainder of the current extent
+	report *Report
+	closed bool
+}
+
+// OpenReader returns a streaming reader over the whole file. The Report is
+// filled in as extents are consumed and is complete once Read returns
+// io.EOF.
+func (t *Tools) OpenReader(x *exnode.ExNode, opts DownloadOptions) (io.ReadCloser, *Report, error) {
+	return t.OpenRangeReader(x, 0, x.Size, opts)
+}
+
+// OpenRangeReader returns a streaming reader over [offset, offset+length).
+func (t *Tools) OpenRangeReader(x *exnode.ExNode, offset, length int64, opts DownloadOptions) (io.ReadCloser, *Report, error) {
+	if err := x.Validate(); err != nil {
+		return nil, nil, err
+	}
+	exts := x.Boundaries(offset, offset+length)
+	r := &streamReader{
+		t:      t,
+		x:      x,
+		opts:   opts,
+		exts:   exts,
+		report: &Report{Bytes: length},
+	}
+	return r, r.report, nil
+}
+
+// Read implements io.Reader: it serves buffered bytes, fetching the next
+// extent (with failover) when the buffer drains.
+func (r *streamReader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, io.ErrClosedPipe
+	}
+	for len(r.buf) == 0 {
+		if r.next >= len(r.exts) {
+			return 0, io.EOF
+		}
+		ext := r.exts[r.next]
+		r.next++
+		dst := make([]byte, ext.Len())
+		dir := r.t.staticDirectoryIfNeeded(r.x, r.opts)
+		start := r.t.clock().Now()
+		er := r.t.fetchExtent(r.x, ext, dst, r.opts, dir, r.next)
+		r.report.Duration += r.t.clock().Since(start)
+		r.report.Extents = append(r.report.Extents, er)
+		if er.Err != nil {
+			return 0, er.Err
+		}
+		dst, err := r.t.unsealRange(r.x, dst, ext.Start, r.opts)
+		if err != nil {
+			return 0, err
+		}
+		r.buf = dst
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+// Close releases the reader.
+func (r *streamReader) Close() error {
+	r.closed = true
+	r.buf = nil
+	return nil
+}

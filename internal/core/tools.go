@@ -1,0 +1,106 @@
+// Package core implements the Logistical Tools — the top implemented layer
+// of the Network Storage Stack (paper §2.3) and this reproduction's primary
+// contribution surface.
+//
+// The tools aggregate IBP storage through exNodes: Upload stripes and
+// replicates local data across depots discovered through the L-Bone;
+// Download reassembles a file (or range) by splitting it into extents at
+// segment boundaries and fetching each extent from the best available
+// depot, failing over on timeout or error, guided by NWS bandwidth
+// forecasts when available; List, Refresh, Augment, Trim and Route manage
+// the exNode over time. Beyond the paper's shipped tools, the package
+// implements its stated future work: XOR-parity and Reed-Solomon coded
+// storage, end-to-end checksums, and threaded (parallel) downloads.
+package core
+
+import (
+	"log"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ibp"
+	"repro/internal/lbone"
+	"repro/internal/nws"
+	"repro/internal/vclock"
+)
+
+// DepotSource abstracts the L-Bone: anything that can answer depot
+// queries. *lbone.Client satisfies it over the network; *lbone.Registry
+// can be adapted in-process via RegistrySource.
+type DepotSource interface {
+	Query(req lbone.Requirements) ([]lbone.DepotInfo, error)
+}
+
+// NWSSource is the slice of the Network Weather Service the tools consume:
+// forecasts to rank download candidates, and measurement feedback from the
+// downloads themselves. Both *nws.Service (local) and *nws.Client (remote
+// daemon) satisfy it.
+type NWSSource interface {
+	Forecast(src, dst string, res nws.Resource) (float64, bool)
+	Record(src, dst string, res nws.Resource, value float64)
+}
+
+// RegistrySource adapts an in-process registry to DepotSource.
+type RegistrySource struct{ Reg *lbone.Registry }
+
+// Query implements DepotSource.
+func (r RegistrySource) Query(req lbone.Requirements) ([]lbone.DepotInfo, error) {
+	return r.Reg.Query(req), nil
+}
+
+// Tools is the Logistical Tools client. Configure once per vantage point.
+type Tools struct {
+	// IBP is the depot client (required).
+	IBP *ibp.Client
+	// LBone answers depot discovery queries (required for Upload/Augment
+	// without explicit depot lists).
+	LBone DepotSource
+	// NWS supplies bandwidth forecasts; nil disables the NWS strategy
+	// (downloads then use static proximity, as the paper describes for
+	// hosts without a local NWS). Use a local *nws.Service or a remote
+	// *nws.Client.
+	NWS NWSSource
+	// Clock measures download durations and expirations (default real).
+	Clock vclock.Clock
+	// Site names this client's location for NWS series ("UTK", …).
+	Site string
+	// Loc is the client's coordinates for static proximity ranking.
+	Loc geo.Point
+	// Logger, when set, receives per-attempt diagnostics.
+	Logger *log.Logger
+}
+
+func (t *Tools) clock() vclock.Clock {
+	if t.Clock == nil {
+		return vclock.Real()
+	}
+	return t.Clock
+}
+
+func (t *Tools) logf(format string, args ...any) {
+	if t.Logger != nil {
+		t.Logger.Printf(format, args...)
+	}
+}
+
+// depotDirectory returns the current L-Bone view keyed by depot address,
+// for static proximity ranking. Missing L-Bone yields an empty directory.
+func (t *Tools) depotDirectory() map[string]lbone.DepotInfo {
+	out := map[string]lbone.DepotInfo{}
+	if t.LBone == nil {
+		return out
+	}
+	depots, err := t.LBone.Query(lbone.Requirements{})
+	if err != nil {
+		t.logf("core: lbone query failed: %v", err)
+		return out
+	}
+	for _, d := range depots {
+		out[d.Addr] = d
+	}
+	return out
+}
+
+// DefaultDuration is the allocation lifetime used when options leave it
+// zero (the paper's tests allocated for days and refreshed).
+const DefaultDuration = 10 * 24 * time.Hour

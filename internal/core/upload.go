@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/exnode"
+	"repro/internal/geo"
+	"repro/internal/ibp"
+	"repro/internal/integrity"
+	"repro/internal/lbone"
+	"repro/internal/sealing"
+)
+
+// UploadOptions parameterize Upload (paper §2.3: "This upload may be
+// parameterized in a variety of ways").
+type UploadOptions struct {
+	// Replicas is the number of full copies to store (default 1).
+	Replicas int
+	// Fragments is the number of pieces each replica is striped into
+	// (default 1). FragmentsPerReplica overrides it per copy.
+	Fragments           int
+	FragmentsPerReplica []int
+	// Duration is the allocation lifetime (default DefaultDuration).
+	Duration time.Duration
+	// Reliability requested from depots (default Hard).
+	Reliability ibp.Reliability
+	// Near orders depot choice by proximity to this point (default: the
+	// client's own location).
+	Near *geo.Point
+	// Depots, when non-nil, bypasses L-Bone discovery and places
+	// fragments round-robin on exactly these depots.
+	Depots []lbone.DepotInfo
+	// Checksum records a SHA-256 digest per fragment for end-to-end
+	// verification on download. With encryption, digests cover the
+	// ciphertext, so integrity is checkable without the key.
+	Checksum bool
+	// EncryptionKey, when set (32 bytes), seals the file with AES-256-CTR
+	// before upload: depots only ever store ciphertext (paper §4 future
+	// work). Downloads then require DownloadOptions.DecryptionKey.
+	EncryptionKey []byte
+	// Parallelism uploads fragments concurrently (0 or 1 = sequential,
+	// the paper's model; >1 = the upload-side counterpart of threaded
+	// downloads).
+	Parallelism int
+	// Placement selects the depot-assignment policy (default
+	// PlacementRotate; PlacementSiteDiverse spreads copies of each byte
+	// range across sites).
+	Placement Placement
+}
+
+func (o *UploadOptions) fragmentsFor(replica int) int {
+	if o.FragmentsPerReplica != nil && replica < len(o.FragmentsPerReplica) {
+		if n := o.FragmentsPerReplica[replica]; n > 0 {
+			return n
+		}
+	}
+	if o.Fragments > 0 {
+		return o.Fragments
+	}
+	return 1
+}
+
+// Upload stores data into the network and returns an exNode describing it.
+// Fragments are placed round-robin over the chosen depots, with each
+// replica's placement rotated so copies of the same extent land on
+// different depots when enough exist.
+func (t *Tools) Upload(name string, data []byte, opts UploadOptions) (*exnode.ExNode, error) {
+	if opts.Replicas <= 0 {
+		opts.Replicas = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = DefaultDuration
+	}
+	if opts.Reliability == "" {
+		opts.Reliability = ibp.Hard
+	}
+	depots := opts.Depots
+	if depots == nil {
+		if t.LBone == nil {
+			return nil, errors.New("core: upload needs explicit depots or an L-Bone")
+		}
+		near := opts.Near
+		if near == nil {
+			near = &t.Loc
+		}
+		var err error
+		depots, err = t.LBone.Query(lbone.Requirements{
+			MinDuration: opts.Duration,
+			Near:        near,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: depot discovery: %w", err)
+		}
+	}
+	if len(depots) == 0 {
+		return nil, errors.New("core: no depots available for upload")
+	}
+
+	x := exnode.New(name, int64(len(data)))
+	x.Created = t.clock().Now()
+	data, err := t.sealIfRequested(x, data, opts.EncryptionKey)
+	if err != nil {
+		return nil, err
+	}
+	// Build the fragment job list, then place each fragment — rotating
+	// each replica's starting depot so copies of the same extent land on
+	// different depots whenever enough exist, and failing over to the next
+	// depot when one refuses or is down.
+	var jobs []planJob
+	for r := 0; r < opts.Replicas; r++ {
+		for j, ext := range splitUniform(int64(len(data)), opts.fragmentsFor(r)) {
+			jobs = append(jobs, planJob{r, j, ext})
+		}
+	}
+	candidates := planPlacements(jobs, depots, opts.Placement)
+	place := func(i int) (*exnode.Mapping, error) {
+		jb := jobs[i]
+		var m *exnode.Mapping
+		var lastErr error
+		for _, depot := range candidates[i] {
+			m, lastErr = t.uploadFragment(name, data, jb.ext, depot, jb.replica, opts)
+			if lastErr == nil {
+				return m, nil
+			}
+			t.logf("core: upload %q fragment [%d,%d): %v; trying next depot",
+				name, jb.ext.Start, jb.ext.End, lastErr)
+		}
+		return nil, lastErr
+	}
+	results := make([]*exnode.Mapping, len(jobs))
+	errs := make([]error, len(jobs))
+	if opts.Parallelism <= 1 {
+		for i := range jobs {
+			results[i], errs[i] = place(i)
+		}
+	} else {
+		idx := make(chan int)
+		done := make(chan struct{})
+		for w := 0; w < opts.Parallelism; w++ {
+			go func() {
+				for i := range idx {
+					results[i], errs[i] = place(i)
+				}
+				done <- struct{}{}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		for w := 0; w < opts.Parallelism; w++ {
+			<-done
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		x.Add(results[i])
+	}
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// uploadFragment stores one extent of data on one depot and returns its
+// mapping.
+func (t *Tools) uploadFragment(name string, data []byte, ext exnode.Extent, depot lbone.DepotInfo, replica int, opts UploadOptions) (*exnode.Mapping, error) {
+	payload := data[ext.Start:ext.End]
+	set, err := t.IBP.Allocate(depot.Addr, ext.Len(), opts.Duration, opts.Reliability)
+	if err != nil {
+		return nil, fmt.Errorf("core: upload %q fragment [%d,%d) on %s: %w",
+			name, ext.Start, ext.End, depot.Name, err)
+	}
+	if _, err := t.IBP.Store(set.Write, payload); err != nil {
+		// Best-effort cleanup of the stranded allocation.
+		t.IBP.Delete(set.Manage)
+		return nil, fmt.Errorf("core: upload %q fragment [%d,%d) on %s: %w",
+			name, ext.Start, ext.End, depot.Name, err)
+	}
+	m := &exnode.Mapping{
+		Offset:  ext.Start,
+		Length:  ext.Len(),
+		Read:    set.Read,
+		Write:   set.Write,
+		Manage:  set.Manage,
+		Replica: replica,
+		Depot:   depot.Name,
+		Expires: t.clock().Now().Add(opts.Duration),
+	}
+	if opts.Checksum {
+		m.Checksum = integrity.Sum(payload)
+	}
+	return m, nil
+}
+
+// sealIfRequested encrypts data for upload when a key is given, recording
+// the cipher metadata on the exNode. It returns the bytes to store.
+func (t *Tools) sealIfRequested(x *exnode.ExNode, data, key []byte) ([]byte, error) {
+	if key == nil {
+		return data, nil
+	}
+	iv, err := sealing.NewIV()
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := sealing.Seal(key, iv, data)
+	if err != nil {
+		return nil, fmt.Errorf("core: sealing %q: %w", x.Name, err)
+	}
+	x.Cipher = sealing.CipherAES256CTR
+	x.IV = sealing.EncodeIV(iv)
+	return sealed, nil
+}
+
+// splitUniform divides [0,size) into n near-equal extents.
+func splitUniform(size int64, n int) []exnode.Extent {
+	if n <= 0 {
+		n = 1
+	}
+	if int64(n) > size && size > 0 {
+		n = int(size)
+	}
+	out := make([]exnode.Extent, 0, n)
+	var start int64
+	for i := 0; i < n; i++ {
+		end := size * int64(i+1) / int64(n)
+		if end > start {
+			out = append(out, exnode.Extent{Start: start, End: end})
+		}
+		start = end
+	}
+	return out
+}
+
+// FragmentSpec places one fragment of one replica explicitly — the
+// experiment harness uses layouts to reconstruct the paper's Figures 5, 8
+// and 15 exactly.
+type FragmentSpec struct {
+	Depot  lbone.DepotInfo
+	Offset int64
+	Length int64
+}
+
+// Layout is a full explicit placement: one fragment list per replica.
+type Layout [][]FragmentSpec
+
+// UploadLayout stores data according to an explicit layout.
+func (t *Tools) UploadLayout(name string, data []byte, layout Layout, opts UploadOptions) (*exnode.ExNode, error) {
+	if opts.Duration <= 0 {
+		opts.Duration = DefaultDuration
+	}
+	if opts.Reliability == "" {
+		opts.Reliability = ibp.Hard
+	}
+	x := exnode.New(name, int64(len(data)))
+	x.Created = t.clock().Now()
+	data, err := t.sealIfRequested(x, data, opts.EncryptionKey)
+	if err != nil {
+		return nil, err
+	}
+	for r, frags := range layout {
+		for _, f := range frags {
+			ext := exnode.Extent{Start: f.Offset, End: f.Offset + f.Length}
+			if ext.Start < 0 || ext.End > int64(len(data)) || ext.Len() <= 0 {
+				return nil, fmt.Errorf("core: layout fragment [%d,%d) outside data of %d bytes",
+					ext.Start, ext.End, len(data))
+			}
+			m, err := t.uploadFragment(name, data, ext, f.Depot, r, opts)
+			if err != nil {
+				return nil, err
+			}
+			x.Add(m)
+		}
+	}
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}

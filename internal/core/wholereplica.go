@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/exnode"
+	"repro/internal/integrity"
+	"repro/internal/nws"
+)
+
+// DownloadWholeReplica is the strawman the paper's download design is an
+// answer to: instead of splitting the file into extents and picking the
+// best depot per extent (§2.3), fetch one entire replica from its own
+// depots, failing over replica-by-replica. It exists as a baseline for the
+// ablation bench: under partial failures, extent-level failover retrieves
+// files that whole-replica failover cannot (a file survives when SOME copy
+// of every extent is up, even if NO single copy is fully up — exactly the
+// paper's Test 3 situation).
+func (t *Tools) DownloadWholeReplica(x *exnode.ExNode, opts DownloadOptions) ([]byte, *Report, error) {
+	if err := x.Validate(); err != nil {
+		return nil, nil, err
+	}
+	start := t.clock().Now()
+	report := &Report{Bytes: x.Size}
+
+	replicas := t.rankReplicas(x)
+	var lastErr error
+	for _, r := range replicas {
+		data, extents, err := t.fetchReplica(x, r, opts)
+		if err != nil {
+			t.logf("core: whole-replica download: copy %d failed: %v", r, err)
+			report.Failovers++
+			lastErr = err
+			continue
+		}
+		report.Extents = extents
+		report.Duration = t.clock().Since(start)
+		data, err = t.unsealRange(x, data, 0, opts)
+		if err != nil {
+			return nil, report, err
+		}
+		return data, report, nil
+	}
+	report.Duration = t.clock().Since(start)
+	if lastErr == nil {
+		lastErr = exnode.ErrNoCoverage
+	}
+	return nil, report, fmt.Errorf("core: whole-replica download %q: every copy failed: %w", x.Name, lastErr)
+}
+
+// rankReplicas orders replica indices by total forecast bandwidth of their
+// fragments (highest first), falling back to index order.
+func (t *Tools) rankReplicas(x *exnode.ExNode) []int {
+	seen := map[int]bool{}
+	var replicas []int
+	score := map[int]float64{}
+	for _, m := range x.Mappings {
+		if !m.IsReplica() {
+			continue
+		}
+		if !seen[m.Replica] {
+			seen[m.Replica] = true
+			replicas = append(replicas, m.Replica)
+		}
+		if t.NWS != nil {
+			if bw, ok := t.NWS.Forecast(t.Site, m.Read.Addr, nws.Bandwidth); ok {
+				score[m.Replica] += bw
+			}
+		}
+	}
+	sort.SliceStable(replicas, func(i, j int) bool {
+		return score[replicas[i]] > score[replicas[j]]
+	})
+	return replicas
+}
+
+// fetchReplica retrieves every fragment of one replica; any fragment
+// failure fails the whole copy (that is the point of the baseline).
+func (t *Tools) fetchReplica(x *exnode.ExNode, replica int, opts DownloadOptions) ([]byte, []ExtentReport, error) {
+	ms := x.ReplicaMappings(replica)
+	if len(ms) == 0 {
+		return nil, nil, fmt.Errorf("core: replica %d has no mappings", replica)
+	}
+	// The replica must cover the whole file.
+	var pos int64
+	for _, m := range ms {
+		if m.Offset > pos {
+			return nil, nil, fmt.Errorf("core: replica %d has a gap at %d", replica, pos)
+		}
+		if m.End() > pos {
+			pos = m.End()
+		}
+	}
+	if pos < x.Size {
+		return nil, nil, fmt.Errorf("core: replica %d is incomplete", replica)
+	}
+	buf := make([]byte, x.Size)
+	var extents []ExtentReport
+	for _, m := range ms {
+		data, err := t.IBP.Load(m.Read, 0, m.Length)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !opts.SkipVerify && m.Checksum != "" {
+			if err := verifyChecksum(data, m.Checksum); err != nil {
+				return nil, nil, err
+			}
+		}
+		copy(buf[m.Offset:m.End()], data)
+		extents = append(extents, ExtentReport{
+			Start: m.Offset, End: m.End(), Depot: m.Depot, Addr: m.Read.Addr, Attempts: 1,
+		})
+	}
+	return buf, extents, nil
+}
+
+// verifyChecksum is a tiny indirection so the baseline shares the tools'
+// integrity checking.
+func verifyChecksum(data []byte, recorded string) error {
+	return integrity.Verify(data, recorded)
+}

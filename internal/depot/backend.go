@@ -1,0 +1,287 @@
+// Package depot implements the IBP depot daemon — the server side of the
+// Internet Backplane Protocol (paper §2.1).
+//
+// A depot turns local storage (memory or a directory of files) into
+// network-visible, time-limited, append-only byte arrays. It enforces the
+// depot's exposed resource limits: total capacity, maximum allocation
+// duration, and allocation expiry.
+package depot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Backend abstracts the local storage a depot serves ("Local Access" /
+// "Physical" layers of the stack diagram). Implementations must be safe for
+// concurrent use across distinct handles; per-handle calls are serialized
+// by the depot.
+type Backend interface {
+	// Create makes an empty byte array able to hold up to maxSize bytes.
+	Create(key string, maxSize int64) (Handle, error)
+	// Remove frees the byte array's storage.
+	Remove(key string) error
+}
+
+// Handle is one byte array held by a backend.
+type Handle interface {
+	// Append writes p at the current end and returns the new length.
+	Append(p []byte) (int64, error)
+	// ReadAt fills p from the given offset. Short reads are errors.
+	ReadAt(p []byte, off int64) error
+	// Len returns the bytes written so far.
+	Len() int64
+	// Close releases any per-handle resources (not the stored data).
+	Close() error
+}
+
+// ErrAllocFull is returned when an append would exceed the allocation size.
+var ErrAllocFull = errors.New("depot: allocation full")
+
+// AllocMeta is the durable metadata of one allocation, persisted by
+// backends that survive daemon restarts. The paper's Harvard depot "has
+// automatic restart as a cron job" (§3.2) — capabilities held by clients
+// must keep working across that restart, so the allocation table cannot
+// live only in memory.
+type AllocMeta struct {
+	MaxSize     int64  `json:"max_size"`
+	Expires     int64  `json:"expires_unix"`
+	Reliability string `json:"reliability"`
+	RefCount    int    `json:"refcount"`
+}
+
+// PersistentBackend is a Backend whose byte arrays and allocation metadata
+// survive process restarts. The depot detects it at startup and restores
+// its allocation table.
+type PersistentBackend interface {
+	Backend
+	// Open reattaches to an existing byte array.
+	Open(key string, maxSize int64) (Handle, error)
+	// SaveMeta durably records the allocation's metadata.
+	SaveMeta(key string, meta AllocMeta) error
+	// LoadMeta returns the metadata of every stored allocation.
+	LoadMeta() (map[string]AllocMeta, error)
+}
+
+// ---- In-memory backend ----
+
+// MemBackend stores byte arrays in process memory. It is the default for
+// tests and for simulated depots in the experiment harness.
+type MemBackend struct {
+	mu   sync.Mutex
+	data map[string]*memHandle
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{data: make(map[string]*memHandle)}
+}
+
+// Create implements Backend.
+func (b *MemBackend) Create(key string, maxSize int64) (Handle, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.data[key]; ok {
+		return nil, fmt.Errorf("depot: duplicate key %s", key)
+	}
+	h := &memHandle{max: maxSize}
+	b.data[key] = h
+	return h, nil
+}
+
+// Remove implements Backend.
+func (b *MemBackend) Remove(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.data[key]; !ok {
+		return fmt.Errorf("depot: remove: no such key %s", key)
+	}
+	delete(b.data, key)
+	return nil
+}
+
+type memHandle struct {
+	mu  sync.Mutex
+	buf []byte
+	max int64
+}
+
+func (h *memHandle) Append(p []byte) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if int64(len(h.buf))+int64(len(p)) > h.max {
+		return int64(len(h.buf)), ErrAllocFull
+	}
+	h.buf = append(h.buf, p...)
+	return int64(len(h.buf)), nil
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(h.buf)) {
+		return io.ErrUnexpectedEOF
+	}
+	copy(p, h.buf[off:])
+	return nil
+}
+
+func (h *memHandle) Len() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int64(len(h.buf))
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// ---- File backend ----
+
+// FileBackend stores each byte array as a file under a directory, the way
+// a production depot serves a disk volume.
+type FileBackend struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileBackend creates (if needed) and serves the given directory.
+func NewFileBackend(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("depot: file backend: %w", err)
+	}
+	return &FileBackend{dir: dir}, nil
+}
+
+func (b *FileBackend) path(key string) string {
+	return filepath.Join(b.dir, key+".ibp")
+}
+
+// Create implements Backend.
+func (b *FileBackend) Create(key string, maxSize int64) (Handle, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	path := b.path(key)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("depot: create %s: %w", key, err)
+	}
+	return &fileHandle{f: f, max: maxSize}, nil
+}
+
+// Remove implements Backend; it also drops the metadata sidecar.
+func (b *FileBackend) Remove(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	os.Remove(b.metaPath(key)) // best effort; data removal decides success
+	return os.Remove(b.path(key))
+}
+
+func (b *FileBackend) metaPath(key string) string {
+	return filepath.Join(b.dir, key+".meta")
+}
+
+// Open implements PersistentBackend: it reattaches to an existing byte
+// array after a restart.
+func (b *FileBackend) Open(key string, maxSize int64) (Handle, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, err := os.OpenFile(b.path(key), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("depot: open %s: %w", key, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("depot: open %s: %w", key, err)
+	}
+	return &fileHandle{f: f, size: st.Size(), max: maxSize}, nil
+}
+
+// SaveMeta implements PersistentBackend with a JSON sidecar per key.
+func (b *FileBackend) SaveMeta(key string, meta AllocMeta) error {
+	blob, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("depot: meta %s: %w", key, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tmp := b.metaPath(key) + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("depot: meta %s: %w", key, err)
+	}
+	return os.Rename(tmp, b.metaPath(key))
+}
+
+// LoadMeta implements PersistentBackend.
+func (b *FileBackend) LoadMeta() (map[string]AllocMeta, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, fmt.Errorf("depot: load meta: %w", err)
+	}
+	out := map[string]AllocMeta{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".meta") {
+			continue
+		}
+		key := strings.TrimSuffix(name, ".meta")
+		blob, err := os.ReadFile(filepath.Join(b.dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("depot: load meta %s: %w", key, err)
+		}
+		var meta AllocMeta
+		if err := json.Unmarshal(blob, &meta); err != nil {
+			return nil, fmt.Errorf("depot: load meta %s: %w", key, err)
+		}
+		out[key] = meta
+	}
+	return out, nil
+}
+
+type fileHandle struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+	max  int64
+}
+
+func (h *fileHandle) Append(p []byte) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.size+int64(len(p)) > h.max {
+		return h.size, ErrAllocFull
+	}
+	n, err := h.f.WriteAt(p, h.size)
+	h.size += int64(n)
+	if err != nil {
+		return h.size, fmt.Errorf("depot: append: %w", err)
+	}
+	return h.size, nil
+}
+
+func (h *fileHandle) ReadAt(p []byte, off int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > h.size {
+		return io.ErrUnexpectedEOF
+	}
+	if _, err := h.f.ReadAt(p, off); err != nil {
+		return fmt.Errorf("depot: read: %w", err)
+	}
+	return nil
+}
+
+func (h *fileHandle) Len() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.size
+}
+
+func (h *fileHandle) Close() error { return h.f.Close() }

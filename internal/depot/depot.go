@@ -1,0 +1,790 @@
+package depot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ibp"
+	"repro/internal/netx"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a depot.
+type Config struct {
+	// Advertised is the address baked into minted capabilities. If empty,
+	// the listener's address is used.
+	Advertised string
+	// Secret signs capability tags. Required.
+	Secret []byte
+	// Capacity is the total bytes the depot will commit. Required.
+	Capacity int64
+	// MaxDuration caps allocation lifetimes; EXTEND beyond it is refused.
+	MaxDuration time.Duration
+	// MaxAllocSize caps a single allocation (0 = Capacity).
+	MaxAllocSize int64
+	// Backend stores the byte arrays (default: in-memory).
+	Backend Backend
+	// Clock drives expirations (default: real time).
+	Clock vclock.Clock
+	// Dialer opens outbound connections for third-party COPY transfers
+	// (default: the system network; the experiment harness injects the
+	// simulated WAN so depot-to-depot traffic is shaped too).
+	Dialer netx.Dialer
+	// Logger receives per-connection errors (default: discard).
+	Logger *log.Logger
+	// MaxConns bounds concurrent connections (default 128).
+	MaxConns int
+}
+
+// Depot is a running IBP depot daemon.
+type Depot struct {
+	cfg      Config
+	ln       net.Listener
+	clock    vclock.Clock
+	sem      chan struct{}
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	allocs   map[string]*allocation
+	used     int64
+	closed   bool
+	shutdown chan struct{}
+	conns    map[net.Conn]struct{}
+	metrics  Metrics
+}
+
+type allocation struct {
+	mu          sync.Mutex
+	key         string
+	handle      Handle
+	maxSize     int64
+	expires     time.Time
+	reliability ibp.Reliability
+	refcount    int
+}
+
+// Serve starts a depot listening on addr (e.g. "127.0.0.1:0") and serves
+// until Close. It returns once the listener is ready.
+func Serve(addr string, cfg Config) (*Depot, error) {
+	if len(cfg.Secret) == 0 {
+		return nil, errors.New("depot: config needs a secret")
+	}
+	if cfg.Capacity <= 0 {
+		return nil, errors.New("depot: config needs a positive capacity")
+	}
+	if cfg.Backend == nil {
+		cfg.Backend = NewMemBackend()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	if cfg.MaxDuration <= 0 {
+		cfg.MaxDuration = 30 * 24 * time.Hour
+	}
+	if cfg.MaxAllocSize <= 0 {
+		cfg.MaxAllocSize = cfg.Capacity
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 128
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("depot: listen %s: %w", addr, err)
+	}
+	if cfg.Advertised == "" {
+		cfg.Advertised = ln.Addr().String()
+	}
+	d := &Depot{
+		cfg:      cfg,
+		ln:       ln,
+		clock:    cfg.Clock,
+		sem:      make(chan struct{}, cfg.MaxConns),
+		allocs:   make(map[string]*allocation),
+		shutdown: make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	if pb, ok := cfg.Backend.(PersistentBackend); ok {
+		if err := d.restore(pb); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return d, nil
+}
+
+// restore reloads the allocation table from a persistent backend after a
+// restart, dropping anything already expired.
+func (d *Depot) restore(pb PersistentBackend) error {
+	metas, err := pb.LoadMeta()
+	if err != nil {
+		return err
+	}
+	now := d.clock.Now()
+	for key, meta := range metas {
+		expires := time.Unix(meta.Expires, 0).UTC()
+		if now.After(expires) {
+			if err := pb.Remove(key); err != nil {
+				d.logf("depot %s: restore: dropping expired %s: %v", d.cfg.Advertised, key, err)
+			}
+			continue
+		}
+		handle, err := pb.Open(key, meta.MaxSize)
+		if err != nil {
+			d.logf("depot %s: restore %s: %v", d.cfg.Advertised, key, err)
+			continue
+		}
+		d.allocs[key] = &allocation{
+			key:         key,
+			handle:      handle,
+			maxSize:     meta.MaxSize,
+			expires:     expires,
+			reliability: ibp.Reliability(meta.Reliability),
+			refcount:    meta.RefCount,
+		}
+		d.used += meta.MaxSize
+		d.metrics.Restores.Add(1)
+	}
+	return nil
+}
+
+// persistMeta records an allocation's durable metadata when the backend
+// supports it.
+func (d *Depot) persistMeta(a *allocation) {
+	pb, ok := d.cfg.Backend.(PersistentBackend)
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	meta := AllocMeta{
+		MaxSize:     a.maxSize,
+		Expires:     a.expires.Unix(),
+		Reliability: string(a.reliability),
+		RefCount:    a.refcount,
+	}
+	a.mu.Unlock()
+	if err := pb.SaveMeta(a.key, meta); err != nil {
+		d.logf("depot %s: persist %s: %v", d.cfg.Advertised, a.key, err)
+	}
+}
+
+// Addr returns the address the depot listens on.
+func (d *Depot) Addr() string { return d.ln.Addr().String() }
+
+// Advertised returns the address minted into capabilities.
+func (d *Depot) Advertised() string { return d.cfg.Advertised }
+
+// Close stops the listener, severs open client connections (idle
+// persistent connections would otherwise block shutdown forever), and
+// waits for the handler goroutines.
+func (d *Depot) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	close(d.shutdown)
+	for conn := range d.conns {
+		conn.Close()
+	}
+	d.mu.Unlock()
+	err := d.ln.Close()
+	d.wg.Wait()
+	return err
+}
+
+// track registers a live connection; it reports false when the depot is
+// already shutting down.
+func (d *Depot) track(conn net.Conn) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false
+	}
+	d.conns[conn] = struct{}{}
+	return true
+}
+
+func (d *Depot) untrack(conn net.Conn) {
+	d.mu.Lock()
+	delete(d.conns, conn)
+	d.mu.Unlock()
+}
+
+func (d *Depot) logf(format string, args ...any) {
+	if d.cfg.Logger != nil {
+		d.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (d *Depot) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			select {
+			case <-d.shutdown:
+				return
+			default:
+			}
+			d.logf("depot %s: accept: %v", d.cfg.Advertised, err)
+			return
+		}
+		select {
+		case d.sem <- struct{}{}:
+		case <-d.shutdown:
+			conn.Close()
+			return
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			defer func() { <-d.sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					d.logf("depot %s: connection panic: %v", d.cfg.Advertised, r)
+				}
+			}()
+			d.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one client connection: a sequence of request/response
+// exchanges terminated by QUIT, EOF, or a protocol error.
+func (d *Depot) serveConn(raw net.Conn) {
+	if !d.track(raw) {
+		raw.Close()
+		return
+	}
+	d.metrics.Connects.Add(1)
+	defer d.untrack(raw)
+	conn := wire.NewConn(raw)
+	defer conn.Close()
+	for {
+		toks, err := conn.ReadLine()
+		if err != nil {
+			if err != io.EOF {
+				d.logf("depot %s: read: %v", d.cfg.Advertised, err)
+			}
+			return
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		ok := d.dispatch(conn, toks)
+		if !ok {
+			return
+		}
+	}
+}
+
+// dispatch handles one request; it reports whether the connection should
+// continue.
+func (d *Depot) dispatch(conn *wire.Conn, toks []string) bool {
+	op, args := toks[0], toks[1:]
+	var err error
+	switch op {
+	case ibp.OpAllocate:
+		err = d.handleAllocate(conn, args)
+	case ibp.OpStore:
+		err = d.handleStore(conn, args)
+	case ibp.OpLoad:
+		err = d.handleLoad(conn, args)
+	case ibp.OpProbe:
+		err = d.handleProbe(conn, args)
+	case ibp.OpExtend:
+		err = d.handleExtend(conn, args)
+	case ibp.OpDelete:
+		err = d.handleDelete(conn, args)
+	case ibp.OpStatus:
+		err = d.handleStatus(conn)
+	case OpMetrics:
+		err = d.handleMetrics(conn)
+	case ibp.OpCopy:
+		err = d.handleCopy(conn, args)
+	case ibp.OpMCopy:
+		err = d.handleMCopy(conn, args)
+	case ibp.OpQuit:
+		return false
+	default:
+		err = conn.WriteErr(wire.CodeUnsupported, "unknown operation %s", op)
+	}
+	if err != nil {
+		d.logf("depot %s: %s: %v", d.cfg.Advertised, op, err)
+		return false
+	}
+	return true
+}
+
+// resolve authenticates a capability token and returns the live
+// allocation, counting failures in the error metric.
+func (d *Depot) resolve(tok string, want ibp.CapType) (*allocation, *wire.RemoteError) {
+	a, rerr := d.resolveInner(tok, want)
+	if rerr != nil {
+		d.metrics.Errors.Add(1)
+	}
+	return a, rerr
+}
+
+func (d *Depot) resolveInner(tok string, want ibp.CapType) (*allocation, *wire.RemoteError) {
+	cap, err := ibp.ParseToken(d.cfg.Advertised, tok)
+	if err != nil {
+		return nil, &wire.RemoteError{Code: wire.CodeBadRequest, Message: "malformed capability"}
+	}
+	if cap.Type != want {
+		return nil, &wire.RemoteError{Code: wire.CodeCapMismatch, Message: fmt.Sprintf("operation requires %s capability", want)}
+	}
+	if !ibp.VerifyCap(d.cfg.Secret, cap) {
+		d.metrics.Violations.Add(1)
+		return nil, &wire.RemoteError{Code: wire.CodeDenied, Message: "capability verification failed"}
+	}
+	d.mu.Lock()
+	a, ok := d.allocs[cap.Key]
+	d.mu.Unlock()
+	if !ok {
+		return nil, &wire.RemoteError{Code: wire.CodeNotFound, Message: "no such allocation"}
+	}
+	if d.expired(a) {
+		d.reapOne(a)
+		return nil, &wire.RemoteError{Code: wire.CodeExpired, Message: "allocation expired"}
+	}
+	return a, nil
+}
+
+func (d *Depot) expired(a *allocation) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return d.clock.Now().After(a.expires)
+}
+
+// reapOne removes a single allocation and reclaims its space.
+func (d *Depot) reapOne(a *allocation) {
+	d.mu.Lock()
+	if _, ok := d.allocs[a.key]; !ok {
+		d.mu.Unlock()
+		return
+	}
+	delete(d.allocs, a.key)
+	d.used -= a.maxSize
+	d.mu.Unlock()
+	a.handle.Close()
+	if err := d.cfg.Backend.Remove(a.key); err != nil {
+		d.logf("depot %s: reap %s: %v", d.cfg.Advertised, a.key, err)
+	}
+	d.metrics.Reaped.Add(1)
+}
+
+// evictSoft reclaims soft allocations, earliest expiration first, until
+// need bytes fit under capacity. Hard allocations are never touched — that
+// is their contract.
+func (d *Depot) evictSoft(need int64) {
+	d.mu.Lock()
+	var soft []*allocation
+	for _, a := range d.allocs {
+		a.mu.Lock()
+		if a.reliability == ibp.Soft {
+			soft = append(soft, a)
+		}
+		a.mu.Unlock()
+	}
+	free := d.cfg.Capacity - d.used
+	d.mu.Unlock()
+	sort.Slice(soft, func(i, j int) bool {
+		soft[i].mu.Lock()
+		ei := soft[i].expires
+		soft[i].mu.Unlock()
+		soft[j].mu.Lock()
+		ej := soft[j].expires
+		soft[j].mu.Unlock()
+		return ei.Before(ej)
+	})
+	for _, a := range soft {
+		if free >= need {
+			return
+		}
+		free += a.maxSize
+		d.logf("depot %s: evicting soft allocation %s under space pressure", d.cfg.Advertised, a.key)
+		d.reapOne(a)
+	}
+}
+
+// ReapExpired sweeps all expired allocations and reports how many were
+// reclaimed. Expiry is also enforced lazily on access, so calling this is
+// an optimization, not a correctness requirement.
+func (d *Depot) ReapExpired() int {
+	d.mu.Lock()
+	var doomed []*allocation
+	now := d.clock.Now()
+	for _, a := range d.allocs {
+		a.mu.Lock()
+		if now.After(a.expires) {
+			doomed = append(doomed, a)
+		}
+		a.mu.Unlock()
+	}
+	d.mu.Unlock()
+	for _, a := range doomed {
+		d.reapOne(a)
+	}
+	return len(doomed)
+}
+
+func (d *Depot) handleAllocate(conn *wire.Conn, args []string) error {
+	if len(args) != 3 {
+		return conn.WriteErr(wire.CodeBadRequest, "ALLOCATE wants <maxsize> <duration> <reliability>")
+	}
+	maxSize, err := wire.ParseInt("maxsize", args[0])
+	if err != nil || maxSize <= 0 {
+		return conn.WriteErr(wire.CodeBadRequest, "bad maxsize %q", args[0])
+	}
+	durSec, err := wire.ParseInt("duration", args[1])
+	if err != nil || durSec <= 0 {
+		return conn.WriteErr(wire.CodeBadRequest, "bad duration %q", args[1])
+	}
+	rel := ibp.Reliability(args[2])
+	if !ibp.ValidReliability(rel) {
+		return conn.WriteErr(wire.CodeBadRequest, "bad reliability %q", args[2])
+	}
+	dur := time.Duration(durSec) * time.Second
+	if dur > d.cfg.MaxDuration {
+		return conn.WriteErr(wire.CodeDurationCap, "duration %v exceeds depot limit %v", dur, d.cfg.MaxDuration)
+	}
+	if maxSize > d.cfg.MaxAllocSize {
+		return conn.WriteErr(wire.CodeQuotaReached, "size %d exceeds per-allocation limit %d", maxSize, d.cfg.MaxAllocSize)
+	}
+
+	key, err := ibp.NewKey()
+	if err != nil {
+		return conn.WriteErr(wire.CodeInternal, "key generation failed")
+	}
+
+	d.mu.Lock()
+	if d.used+maxSize > d.cfg.Capacity {
+		d.mu.Unlock()
+		// IBP's volatile-storage semantics: soft allocations may be
+		// reclaimed early under space pressure. Sweep expired
+		// allocations first, then evict soft ones (earliest-expiring
+		// first) until the request fits.
+		d.ReapExpired()
+		d.evictSoft(maxSize)
+		d.mu.Lock()
+	}
+	if d.used+maxSize > d.cfg.Capacity {
+		avail := d.cfg.Capacity - d.used
+		d.mu.Unlock()
+		return conn.WriteErr(wire.CodeNoSpace, "need %d bytes, %d available", maxSize, avail)
+	}
+	d.used += maxSize
+	d.mu.Unlock()
+
+	handle, err := d.cfg.Backend.Create(key, maxSize)
+	if err != nil {
+		d.mu.Lock()
+		d.used -= maxSize
+		d.mu.Unlock()
+		return conn.WriteErr(wire.CodeInternal, "backend create failed")
+	}
+	a := &allocation{
+		key:         key,
+		handle:      handle,
+		maxSize:     maxSize,
+		expires:     d.clock.Now().Add(dur),
+		reliability: rel,
+		refcount:    1,
+	}
+	d.mu.Lock()
+	d.allocs[key] = a
+	d.mu.Unlock()
+	d.persistMeta(a)
+
+	d.metrics.Allocates.Add(1)
+	set := ibp.MintSet(d.cfg.Secret, d.cfg.Advertised, key)
+	return conn.WriteOK(set.Read.String(), set.Write.String(), set.Manage.String())
+}
+
+func (d *Depot) handleStore(conn *wire.Conn, args []string) error {
+	if len(args) != 2 {
+		return conn.WriteErr(wire.CodeBadRequest, "STORE wants <writecap> <len>")
+	}
+	n, err := wire.ParseInt("len", args[1])
+	if err != nil || n < 0 {
+		return conn.WriteErr(wire.CodeBadRequest, "bad length %q", args[1])
+	}
+	// The payload follows the request line regardless of capability
+	// validity, so consume it before replying with any error.
+	data, err := conn.ReadBlob(n)
+	if err != nil {
+		return fmt.Errorf("reading store payload: %w", err)
+	}
+	a, rerr := d.resolve(args[0], ibp.CapWrite)
+	if rerr != nil {
+		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+	}
+	a.mu.Lock()
+	newLen, err := a.handle.Append(data)
+	a.mu.Unlock()
+	if err != nil {
+		if errors.Is(err, ErrAllocFull) {
+			return conn.WriteErr(wire.CodeNoSpace, "append exceeds allocation size %d", a.maxSize)
+		}
+		return conn.WriteErr(wire.CodeInternal, "append failed")
+	}
+	d.metrics.Stores.Add(1)
+	d.metrics.BytesIn.Add(int64(len(data)))
+	return conn.WriteOK(wire.Itoa(int64(len(data))), wire.Itoa(newLen))
+}
+
+func (d *Depot) handleLoad(conn *wire.Conn, args []string) error {
+	if len(args) != 3 {
+		return conn.WriteErr(wire.CodeBadRequest, "LOAD wants <readcap> <offset> <len>")
+	}
+	off, err := wire.ParseInt("offset", args[1])
+	if err != nil || off < 0 {
+		return conn.WriteErr(wire.CodeBadRequest, "bad offset %q", args[1])
+	}
+	n, err := wire.ParseInt("len", args[2])
+	if err != nil || n < 0 {
+		return conn.WriteErr(wire.CodeBadRequest, "bad length %q", args[2])
+	}
+	a, rerr := d.resolve(args[0], ibp.CapRead)
+	if rerr != nil {
+		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+	}
+	a.mu.Lock()
+	have := a.handle.Len()
+	if off+n > have {
+		a.mu.Unlock()
+		return conn.WriteErr(wire.CodeOutOfRange, "read [%d,%d) beyond written length %d", off, off+n, have)
+	}
+	buf := make([]byte, n)
+	err = a.handle.ReadAt(buf, off)
+	a.mu.Unlock()
+	if err != nil {
+		return conn.WriteErr(wire.CodeInternal, "read failed")
+	}
+	d.metrics.Loads.Add(1)
+	d.metrics.BytesOut.Add(n)
+	if err := conn.WriteOK(wire.Itoa(n)); err != nil {
+		return err
+	}
+	return conn.WriteBlob(buf)
+}
+
+func (d *Depot) handleProbe(conn *wire.Conn, args []string) error {
+	if len(args) != 1 {
+		return conn.WriteErr(wire.CodeBadRequest, "PROBE wants <managecap>")
+	}
+	a, rerr := d.resolve(args[0], ibp.CapManage)
+	if rerr != nil {
+		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+	}
+	d.metrics.Probes.Add(1)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return conn.WriteOK(
+		wire.Itoa(a.maxSize),
+		wire.Itoa(a.handle.Len()),
+		wire.Itoa(a.expires.Unix()),
+		string(a.reliability),
+		wire.Itoa(int64(a.refcount)),
+	)
+}
+
+func (d *Depot) handleExtend(conn *wire.Conn, args []string) error {
+	if len(args) != 2 {
+		return conn.WriteErr(wire.CodeBadRequest, "EXTEND wants <managecap> <duration>")
+	}
+	durSec, err := wire.ParseInt("duration", args[1])
+	if err != nil || durSec <= 0 {
+		return conn.WriteErr(wire.CodeBadRequest, "bad duration %q", args[1])
+	}
+	dur := time.Duration(durSec) * time.Second
+	if dur > d.cfg.MaxDuration {
+		return conn.WriteErr(wire.CodeDurationCap, "duration %v exceeds depot limit %v", dur, d.cfg.MaxDuration)
+	}
+	a, rerr := d.resolve(args[0], ibp.CapManage)
+	if rerr != nil {
+		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+	}
+	newExp := d.clock.Now().Add(dur)
+	a.mu.Lock()
+	if newExp.After(a.expires) {
+		a.expires = newExp
+	}
+	exp := a.expires
+	a.mu.Unlock()
+	d.persistMeta(a)
+	d.metrics.Extends.Add(1)
+	return conn.WriteOK(wire.Itoa(exp.Unix()))
+}
+
+func (d *Depot) handleDelete(conn *wire.Conn, args []string) error {
+	if len(args) != 1 {
+		return conn.WriteErr(wire.CodeBadRequest, "DELETE wants <managecap>")
+	}
+	a, rerr := d.resolve(args[0], ibp.CapManage)
+	if rerr != nil {
+		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+	}
+	a.mu.Lock()
+	a.refcount--
+	ref := a.refcount
+	a.mu.Unlock()
+	if ref <= 0 {
+		d.reapOne(a)
+	} else {
+		d.persistMeta(a)
+	}
+	d.metrics.Deletes.Add(1)
+	return conn.WriteOK(wire.Itoa(int64(ref)))
+}
+
+// handleCopy implements third-party transfer: this depot reads its own
+// byte array and stores the bytes directly on the destination depot named
+// by the client-supplied WRITE capability. The client never touches the
+// data (paper §2.2's "routing" of files becomes a depot-to-depot move).
+func (d *Depot) handleCopy(conn *wire.Conn, args []string) error {
+	if len(args) != 4 {
+		return conn.WriteErr(wire.CodeBadRequest, "COPY wants <readcap> <offset> <len> <destcap>")
+	}
+	off, err := wire.ParseInt("offset", args[1])
+	if err != nil || off < 0 {
+		return conn.WriteErr(wire.CodeBadRequest, "bad offset %q", args[1])
+	}
+	n, err := wire.ParseInt("len", args[2])
+	if err != nil || n < 0 || n > wire.MaxBlobLen {
+		return conn.WriteErr(wire.CodeBadRequest, "bad length %q", args[2])
+	}
+	dst, err := ibp.ParseCap(args[3])
+	if err != nil || dst.Type != ibp.CapWrite {
+		return conn.WriteErr(wire.CodeBadRequest, "bad destination capability")
+	}
+	a, rerr := d.resolve(args[0], ibp.CapRead)
+	if rerr != nil {
+		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+	}
+	a.mu.Lock()
+	have := a.handle.Len()
+	if off+n > have {
+		a.mu.Unlock()
+		return conn.WriteErr(wire.CodeOutOfRange, "read [%d,%d) beyond written length %d", off, off+n, have)
+	}
+	buf := make([]byte, n)
+	err = a.handle.ReadAt(buf, off)
+	a.mu.Unlock()
+	if err != nil {
+		return conn.WriteErr(wire.CodeInternal, "read failed")
+	}
+	newLen, err := d.outbound().Store(dst, buf)
+	if err != nil {
+		return conn.WriteErr(wire.CodeUnavailable, "store to %s failed: %v", dst.Addr, err)
+	}
+	d.metrics.Loads.Add(1)
+	d.metrics.BytesOut.Add(n)
+	return conn.WriteOK(wire.Itoa(n), wire.Itoa(newLen))
+}
+
+// handleMCopy fans one local read out to several destinations: a
+// depot-level multicast (IBP's mcopy). Per-destination failures do not
+// fail the whole operation; each result slot is the destination's new
+// length or -1.
+func (d *Depot) handleMCopy(conn *wire.Conn, args []string) error {
+	if len(args) < 5 {
+		return conn.WriteErr(wire.CodeBadRequest, "MCOPY wants <readcap> <offset> <len> <n> <dst>...")
+	}
+	off, err := wire.ParseInt("offset", args[1])
+	if err != nil || off < 0 {
+		return conn.WriteErr(wire.CodeBadRequest, "bad offset %q", args[1])
+	}
+	n, err := wire.ParseInt("len", args[2])
+	if err != nil || n < 0 || n > wire.MaxBlobLen {
+		return conn.WriteErr(wire.CodeBadRequest, "bad length %q", args[2])
+	}
+	count, err := wire.ParseInt("count", args[3])
+	if err != nil || count <= 0 || int(count) != len(args)-4 {
+		return conn.WriteErr(wire.CodeBadRequest, "destination count mismatch")
+	}
+	dsts := make([]ibp.Cap, 0, count)
+	for _, tok := range args[4:] {
+		dst, err := ibp.ParseCap(tok)
+		if err != nil || dst.Type != ibp.CapWrite {
+			return conn.WriteErr(wire.CodeBadRequest, "bad destination capability")
+		}
+		dsts = append(dsts, dst)
+	}
+	a, rerr := d.resolve(args[0], ibp.CapRead)
+	if rerr != nil {
+		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+	}
+	a.mu.Lock()
+	have := a.handle.Len()
+	if off+n > have {
+		a.mu.Unlock()
+		return conn.WriteErr(wire.CodeOutOfRange, "read [%d,%d) beyond written length %d", off, off+n, have)
+	}
+	buf := make([]byte, n)
+	err = a.handle.ReadAt(buf, off)
+	a.mu.Unlock()
+	if err != nil {
+		return conn.WriteErr(wire.CodeInternal, "read failed")
+	}
+	client := d.outbound()
+	results := make([]string, len(dsts))
+	for i, dst := range dsts {
+		newLen, err := client.Store(dst, buf)
+		if err != nil {
+			d.logf("depot %s: mcopy to %s: %v", d.cfg.Advertised, dst.Addr, err)
+			results[i] = "-1"
+			continue
+		}
+		results[i] = wire.Itoa(newLen)
+	}
+	d.metrics.Loads.Add(1)
+	d.metrics.BytesOut.Add(n * int64(len(dsts)))
+	return conn.WriteOK(results...)
+}
+
+// outbound returns the client this depot uses for third-party transfers.
+func (d *Depot) outbound() *ibp.Client {
+	opts := []ibp.Option{ibp.WithClock(d.clock)}
+	if d.cfg.Dialer != nil {
+		opts = append(opts, ibp.WithDialer(d.cfg.Dialer))
+	}
+	return ibp.NewClient(opts...)
+}
+
+func (d *Depot) handleStatus(conn *wire.Conn) error {
+	d.mu.Lock()
+	total, used, n := d.cfg.Capacity, d.used, len(d.allocs)
+	d.mu.Unlock()
+	return conn.WriteOK(
+		wire.Itoa(total),
+		wire.Itoa(used),
+		wire.Itoa(int64(d.cfg.MaxDuration.Seconds())),
+		wire.Itoa(int64(n)),
+	)
+}
+
+// AllocationCount reports the number of live allocations (for tests and the
+// depot CLI's status output).
+func (d *Depot) AllocationCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.allocs)
+}
+
+// UsedBytes reports the committed capacity.
+func (d *Depot) UsedBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}

@@ -1,0 +1,70 @@
+package depot
+
+import (
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// Metrics counts depot operations since startup — the observability a
+// storage owner needs when they "insert their storage into the network"
+// (§2.1) for strangers to use.
+type Metrics struct {
+	Allocates  atomic.Int64
+	Stores     atomic.Int64
+	Loads      atomic.Int64
+	Probes     atomic.Int64
+	Extends    atomic.Int64
+	Deletes    atomic.Int64
+	BytesIn    atomic.Int64 // payload bytes stored
+	BytesOut   atomic.Int64 // payload bytes served
+	Errors     atomic.Int64 // requests answered with ERR
+	Reaped     atomic.Int64 // allocations reclaimed by expiry
+	Connects   atomic.Int64 // connections accepted
+	Restores   atomic.Int64 // allocations restored at startup
+	Violations atomic.Int64 // capability verification failures
+}
+
+// MetricsSnapshot is a plain-value copy for reporting.
+type MetricsSnapshot struct {
+	Allocates, Stores, Loads, Probes, Extends, Deletes int64
+	BytesIn, BytesOut                                  int64
+	Errors, Reaped, Connects, Restores, Violations     int64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Allocates:  m.Allocates.Load(),
+		Stores:     m.Stores.Load(),
+		Loads:      m.Loads.Load(),
+		Probes:     m.Probes.Load(),
+		Extends:    m.Extends.Load(),
+		Deletes:    m.Deletes.Load(),
+		BytesIn:    m.BytesIn.Load(),
+		BytesOut:   m.BytesOut.Load(),
+		Errors:     m.Errors.Load(),
+		Reaped:     m.Reaped.Load(),
+		Connects:   m.Connects.Load(),
+		Restores:   m.Restores.Load(),
+		Violations: m.Violations.Load(),
+	}
+}
+
+// Metrics returns the depot's live counters.
+func (d *Depot) Metrics() *Metrics { return &d.metrics }
+
+// OpMetrics is the wire verb for fetching counters.
+const OpMetrics = "METRICS"
+
+// handleMetrics answers METRICS with 13 counters in a fixed order.
+func (d *Depot) handleMetrics(conn *wire.Conn) error {
+	s := d.metrics.Snapshot()
+	return conn.WriteOK(
+		wire.Itoa(s.Allocates), wire.Itoa(s.Stores), wire.Itoa(s.Loads),
+		wire.Itoa(s.Probes), wire.Itoa(s.Extends), wire.Itoa(s.Deletes),
+		wire.Itoa(s.BytesIn), wire.Itoa(s.BytesOut),
+		wire.Itoa(s.Errors), wire.Itoa(s.Reaped), wire.Itoa(s.Connects),
+		wire.Itoa(s.Restores), wire.Itoa(s.Violations),
+	)
+}

@@ -1,0 +1,185 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RS is a systematic Reed-Solomon code with k data blocks and m parity
+// blocks: any k of the k+m blocks reconstruct the data. Instances are
+// immutable and safe for concurrent use.
+type RS struct {
+	k, m int
+	// gen is the (k+m)×k generator: the top k rows are the identity
+	// (systematic), the bottom m rows produce parity.
+	gen matrix
+}
+
+// NewRS constructs a Reed-Solomon code with dataBlocks data and
+// parityBlocks parity blocks. dataBlocks+parityBlocks must not exceed 255.
+func NewRS(dataBlocks, parityBlocks int) (*RS, error) {
+	k, m := dataBlocks, parityBlocks
+	if k <= 0 || m < 0 {
+		return nil, fmt.Errorf("erasure: invalid code (%d,%d)", k, m)
+	}
+	if k+m > 255 {
+		return nil, fmt.Errorf("erasure: %d blocks exceeds GF(2^8) limit of 255", k+m)
+	}
+	// Plank's 1997 tutorial used a raw Vandermonde matrix, which is not
+	// MDS once the identity is stacked on top; the 2003 correction derives
+	// a systematic generator by elementary column operations on an
+	// extended Vandermonde matrix, preserving the any-k-rows-invertible
+	// property. We implement that: start from the (k+m)×k Vandermonde
+	// matrix, then multiply by the inverse of its top k×k square so the
+	// top becomes the identity.
+	v := vandermonde(k+m, k)
+	top := v.subMatrix(seq(0, k))
+	topInv, err := top.invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: building generator: %w", err)
+	}
+	return &RS{k: k, m: m, gen: v.mul(topInv)}, nil
+}
+
+// DataBlocks returns k.
+func (r *RS) DataBlocks() int { return r.k }
+
+// ParityBlocks returns m.
+func (r *RS) ParityBlocks() int { return r.m }
+
+// Encode computes the m parity blocks for the k equal-length data blocks.
+// The returned slice holds newly allocated parity blocks.
+func (r *RS) Encode(data [][]byte) ([][]byte, error) {
+	if err := r.checkBlocks(data); err != nil {
+		return nil, err
+	}
+	size := len(data[0])
+	parity := make([][]byte, r.m)
+	for p := 0; p < r.m; p++ {
+		out := make([]byte, size)
+		row := r.gen.row(r.k + p)
+		for d := 0; d < r.k; d++ {
+			mulSlice(out, data[d], row[d])
+		}
+		parity[p] = out
+	}
+	return parity, nil
+}
+
+// ErrNotEnoughBlocks is returned when fewer than k blocks survive.
+var ErrNotEnoughBlocks = errors.New("erasure: not enough surviving blocks to decode")
+
+// Decode reconstructs the k data blocks from any k surviving blocks.
+// blocks has length k+m with nil entries for missing blocks: indices
+// 0..k-1 are data blocks, k..k+m-1 parity. It returns the data blocks,
+// reusing surviving data blocks where present.
+func (r *RS) Decode(blocks [][]byte) ([][]byte, error) {
+	if len(blocks) != r.k+r.m {
+		return nil, fmt.Errorf("erasure: decode wants %d blocks, got %d", r.k+r.m, len(blocks))
+	}
+	// Collect surviving block indices and validate sizes.
+	var have []int
+	size := -1
+	for i, b := range blocks {
+		if b == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(b)
+		} else if len(b) != size {
+			return nil, fmt.Errorf("erasure: block %d has size %d, want %d", i, len(b), size)
+		}
+		have = append(have, i)
+	}
+	if len(have) < r.k {
+		return nil, fmt.Errorf("%w: have %d of %d needed", ErrNotEnoughBlocks, len(have), r.k)
+	}
+
+	// Fast path: all data blocks survive.
+	allData := true
+	for i := 0; i < r.k; i++ {
+		if blocks[i] == nil {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		return blocks[:r.k], nil
+	}
+
+	// Pick the first k surviving blocks, invert the corresponding
+	// generator rows, and multiply to recover the data.
+	rows := have[:r.k]
+	dec, err := r.gen.subMatrix(rows).invert()
+	if err != nil {
+		return nil, err
+	}
+	data := make([][]byte, r.k)
+	for d := 0; d < r.k; d++ {
+		if blocks[d] != nil {
+			data[d] = blocks[d]
+			continue
+		}
+		out := make([]byte, size)
+		for j, src := range rows {
+			mulSlice(out, blocks[src], dec.at(d, j))
+		}
+		data[d] = out
+	}
+	return data, nil
+}
+
+func (r *RS) checkBlocks(data [][]byte) error {
+	if len(data) != r.k {
+		return fmt.Errorf("erasure: encode wants %d data blocks, got %d", r.k, len(data))
+	}
+	size := len(data[0])
+	for i, b := range data {
+		if len(b) != size {
+			return fmt.Errorf("erasure: block %d has size %d, want %d", i, len(b), size)
+		}
+	}
+	return nil
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// Split partitions data into k equal blocks, zero-padding the tail. Block
+// size is ceil(len(data)/k).
+func Split(data []byte, k int) [][]byte {
+	if k <= 0 {
+		panic("erasure: Split with k <= 0")
+	}
+	blockSize := (len(data) + k - 1) / k
+	if blockSize == 0 {
+		blockSize = 1
+	}
+	out := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		b := make([]byte, blockSize)
+		lo := i * blockSize
+		if lo < len(data) {
+			copy(b, data[lo:])
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// Join reassembles Split's blocks into the original data of length n.
+func Join(blocks [][]byte, n int) []byte {
+	out := make([]byte, 0, n)
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	if len(out) < n {
+		panic(fmt.Sprintf("erasure: Join has %d bytes, want %d", len(out), n))
+	}
+	return out[:n]
+}

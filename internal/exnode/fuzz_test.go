@@ -1,0 +1,34 @@
+package exnode
+
+import (
+	"testing"
+
+	"repro/internal/ibp"
+)
+
+// FuzzUnmarshal hardens the exNode XML parser: arbitrary bytes must never
+// panic, and anything accepted must re-serialize and re-parse.
+func FuzzUnmarshal(f *testing.F) {
+	key, _ := ibp.NewKey()
+	x := New("seed", 100)
+	set := ibp.MintSet([]byte("s"), "h:1", key)
+	x.Add(&Mapping{Offset: 0, Length: 100, Read: set.Read, Write: set.Write, Manage: set.Manage})
+	blob, _ := Marshal(x)
+	f.Add(blob)
+	f.Add([]byte("<exnode"))
+	f.Add([]byte(`<exnode version="1" name="x" size="-3"></exnode>`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		blob2, err := Marshal(got)
+		if err != nil {
+			t.Fatalf("accepted exnode failed to marshal: %v", err)
+		}
+		if _, err := Unmarshal(blob2); err != nil {
+			t.Fatalf("re-marshaled exnode failed to parse: %v", err)
+		}
+	})
+}

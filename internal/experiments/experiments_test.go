@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exnode"
+	"repro/internal/lbone"
+)
+
+// Scaled-down configs keep the test suite fast while preserving shape.
+func smallCfg(rounds int) Config {
+	return Config{
+		Seed:     7,
+		FileSize: 120_000,
+		Rounds:   rounds,
+		Interval: 20 * time.Second,
+		UseNWS:   true,
+	}
+}
+
+func TestTest1LayoutShape(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Seed: 1, PerfectNetwork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	layout, err := tb.Test1Layout(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layout) != 5 {
+		t.Fatalf("replicas = %d, want 5", len(layout))
+	}
+	wantFrags := []int{2, 4, 5, 7, 9}
+	total := 0
+	for r, frags := range layout {
+		if len(frags) != wantFrags[r] {
+			t.Fatalf("copy %d has %d fragments, want %d", r, len(frags), wantFrags[r])
+		}
+		total += len(frags)
+		// Each replica partitions the file exactly.
+		var pos int64
+		for _, f := range frags {
+			if f.Offset != pos {
+				t.Fatalf("copy %d fragment at %d, want %d", r, f.Offset, pos)
+			}
+			pos += f.Length
+		}
+		if pos != 1_000_000 {
+			t.Fatalf("copy %d covers %d bytes", r, pos)
+		}
+	}
+	if total != Test1SegmentCount {
+		t.Fatalf("segments = %d, want %d", total, Test1SegmentCount)
+	}
+}
+
+func TestTest2LayoutShape(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Seed: 1, PerfectNetwork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	layout, err := tb.Test2Layout(3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for r, frags := range layout {
+		var pos int64
+		for _, f := range frags {
+			if f.Offset != pos {
+				t.Fatalf("copy %d fragment at %d, want %d", r, f.Offset, pos)
+			}
+			pos += f.Length
+		}
+		if pos != 3_000_000 {
+			t.Fatalf("copy %d covers %d bytes", r, pos)
+		}
+		total += len(frags)
+	}
+	if total != Test2SegmentCount {
+		t.Fatalf("segments = %d, want %d", total, Test2SegmentCount)
+	}
+}
+
+func TestTest3TrimInvariants(t *testing.T) {
+	// The paper's Figure 15 invariants: 12 of 21 deleted, 33-67 % of each
+	// replica eliminated, the first sixth only on UCSB3 and HARVARD, and
+	// at least two locations for every extent.
+	tb, err := NewTestbed(TestbedConfig{Seed: 1, PerfectNetwork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	cfg := smallCfg(2)
+	res, err := RunTest3(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Full.Mappings) != 21 || len(res.Trimmed.Mappings) != 9 {
+		t.Fatalf("mappings: full %d, trimmed %d", len(res.Full.Mappings), len(res.Trimmed.Mappings))
+	}
+	// Deletion fraction per replica within [1/3, 2/3] by fragment count.
+	fullCount := map[int]int{}
+	keptCount := map[int]int{}
+	for _, m := range res.Full.Mappings {
+		fullCount[m.Replica]++
+	}
+	for _, m := range res.Trimmed.Mappings {
+		keptCount[m.Replica]++
+	}
+	for r, n := range fullCount {
+		del := n - keptCount[r]
+		frac := float64(del) / float64(n)
+		if frac < 0.33-1e-9 || frac > 0.67+1e-9 {
+			t.Fatalf("replica %d: deleted %d of %d (%.0f%%), outside 33-67%%", r, del, n, 100*frac)
+		}
+	}
+	// First sixth exactly on UCSB3 and HARVARD.
+	size := res.Trimmed.Size
+	firstSixth := exnode.Extent{Start: 0, End: size / 6}
+	cands := res.Trimmed.Candidates(firstSixth)
+	if len(cands) != 2 {
+		t.Fatalf("first sixth has %d candidates, want 2", len(cands))
+	}
+	got := map[string]bool{}
+	for _, m := range cands {
+		got[m.Depot] = true
+	}
+	if !got["UCSB3"] || !got["HARVARD"] {
+		t.Fatalf("first sixth candidates: %v, want UCSB3 and HARVARD", got)
+	}
+	// At least two locations for every extent.
+	for _, ext := range res.Trimmed.Boundaries(0, size) {
+		if n := len(res.Trimmed.Candidates(ext)); n < 2 {
+			t.Fatalf("extent [%d,%d) has %d candidates, want >= 2", ext.Start, ext.End, n)
+		}
+	}
+	// The deleted byte arrays are gone from the depots.
+	if res.DeletedIBP != 12 {
+		t.Fatalf("deleted %d byte arrays, want 12", res.DeletedIBP)
+	}
+}
+
+func TestRunTest1Small(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	res, err := RunTest1(tb, smallCfg(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Availability.Overall
+	if total.Total() != 120*Test1SegmentCount {
+		t.Fatalf("fragment checks = %d", total.Total())
+	}
+	// Availability should land in the band the paper reports: high but
+	// clearly below 100 %.
+	if r := total.Ratio(); r < 85 || r >= 100 {
+		t.Fatalf("overall availability = %.2f%%, want high-but-lossy band", r)
+	}
+	// The flakiest depot (UCSB2) must be visibly worse than UTK1.
+	names, ratios := res.Availability.PerDepot()
+	byName := map[string]float64{}
+	for i, n := range names {
+		byName[n] = ratios[i]
+	}
+	if byName["UCSB2"] >= byName["UTK1"] {
+		t.Fatalf("UCSB2 (%.1f%%) should be less available than UTK1 (%.1f%%)", byName["UCSB2"], byName["UTK1"])
+	}
+	out := RenderTest1(res)
+	for _, want := range []string{"Figure 5", "Figure 6", "Figure 7", "Overall segment availability"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTest2Small(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{
+		Seed:                 42,
+		HarvardDepotOverride: Test2HarvardIncident(72 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	cfg := smallCfg(40)
+	cfg.Interval = 5 * time.Minute
+	// Download-time ordering is a bandwidth effect, so this test uses the
+	// paper's real 3 MB file.
+	cfg.FileSize = 3_000_000
+	res, err := RunTest2(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utk, ucsd, harv := res.SiteRun("UTK"), res.SiteRun("UCSD"), res.SiteRun("HARVARD")
+	if utk == nil || ucsd == nil || harv == nil {
+		t.Fatal("missing site run")
+	}
+	// Headline result: every download succeeded everywhere.
+	for _, run := range res.Sites {
+		if run.SuccessRate() != 100 {
+			t.Fatalf("%s success rate = %.1f%%, want 100%%", run.Site.Name, run.SuccessRate())
+		}
+	}
+	// Download-time ordering: UTK < UCSD < Harvard (paper: 1.29 / 4.38 /
+	// worst).
+	tu, td, th := utk.TimeSummary().Mean, ucsd.TimeSummary().Mean, harv.TimeSummary().Mean
+	if !(tu < td && td < th) {
+		t.Fatalf("mean download times UTK %.2f / UCSD %.2f / HARVARD %.2f not ordered", tu, td, th)
+	}
+	// Most common paths: UTK all-local; UCSD starts local; Harvard starts
+	// at its own depot.
+	for _, e := range utk.Path.MostCommon() {
+		if !strings.HasPrefix(e.Depot, "UTK") {
+			t.Fatalf("UTK path uses %s", e.Depot)
+		}
+	}
+	ucsdPath := ucsd.Path.MostCommon()
+	if !strings.HasPrefix(ucsdPath[0].Depot, "UCSD") {
+		t.Fatalf("UCSD path starts at %s", ucsdPath[0].Depot)
+	}
+	// The UCSD path's tail comes from Santa Barbara (Figure 13).
+	tail := ucsdPath[len(ucsdPath)-1].Depot
+	if !strings.HasPrefix(tail, "UCSB") {
+		t.Fatalf("UCSD path ends at %s, want UCSB*", tail)
+	}
+	harvPath := harv.Path.MostCommon()
+	if harvPath[0].Depot != "HARVARD" {
+		t.Fatalf("Harvard path starts at %s", harvPath[0].Depot)
+	}
+	// Middle from UNC, tail from UCSB (Figure 14).
+	sawUNC, sawUCSB := false, false
+	for _, e := range harvPath[1:] {
+		if e.Depot == "UNC" {
+			sawUNC = true
+		}
+		if strings.HasPrefix(e.Depot, "UCSB") {
+			sawUCSB = true
+		}
+	}
+	if !sawUNC || !sawUCSB {
+		t.Fatalf("Harvard path %v missing UNC or UCSB leg", harvPath)
+	}
+	out := RenderTest2(res)
+	for _, want := range []string{"Figure 8", "Figure 9", "Figure 12", "Figure 14"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestRunTest3Small(t *testing.T) {
+	cfg := smallCfg(160)
+	cfg.Interval = 150 * time.Second
+	failFrom, end := Test3FailWindow(cfg)
+	tb, err := NewTestbed(TestbedConfig{
+		Seed:                 42,
+		StableLinks:          true,
+		HarvardDepotOverride: Test3HarvardAvailability(failFrom, end),
+		UCSB3Override:        Test3UCSB3Availability(failFrom, end),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	res, err := RunTest3(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failures exist, cluster at the end, and none occur before the
+	// scripted window.
+	if res.Run.Failures == 0 {
+		t.Fatal("expected failures in the scripted final window")
+	}
+	failRounds := cfg.Rounds / 16
+	if res.FirstFail < cfg.Rounds-failRounds-2 {
+		t.Fatalf("first failure at round %d, want only in the final window (>= %d)",
+			res.FirstFail, cfg.Rounds-failRounds-2)
+	}
+	// Downloads before the window all succeeded.
+	if res.Run.Successes < cfg.Rounds-failRounds-2 {
+		t.Fatalf("successes = %d of %d", res.Run.Successes, cfg.Rounds)
+	}
+	// Harvard's availability is roughly halved by the cron loop; UCSB3
+	// stays low-90s. Check via per-depot ratios.
+	names, ratios := res.Run.Availability.PerDepot()
+	byName := map[string]float64{}
+	for i, n := range names {
+		byName[n] = ratios[i]
+	}
+	if h := byName["HARVARD"]; h < 25 || h > 70 {
+		t.Fatalf("HARVARD availability = %.1f%%, want ~48%%", h)
+	}
+	if u := byName["UCSB3"]; u < 80 || u >= 100 {
+		t.Fatalf("UCSB3 availability = %.1f%%, want ~94%%", u)
+	}
+	out := RenderTest3(res)
+	for _, want := range []string{"Figure 15", "Figure 16", "Figure 17", "First failed download"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestRenderLBone(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Seed: 1, PerfectNetwork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	tb.RegisterWiderLBone()
+	depots := tb.Registry.Query(lboneAll())
+	out := RenderLBone(depots)
+	if !strings.Contains(out, "depots serving") {
+		t.Fatalf("lbone render:\n%s", out)
+	}
+	if got := len(depots); got != 21 {
+		t.Fatalf("depots = %d, want 21 (paper Figure 2)", got)
+	}
+}
+
+func lboneAll() lbone.Requirements { return lbone.Requirements{} }
+
+func TestReplicationStudy(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	cfg := Config{Seed: 11, FileSize: 60_000, Rounds: 60, Interval: 5 * time.Minute, UseNWS: false}
+	res, err := RunReplicationStudy(tb, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Retrievability must be monotone non-decreasing in replica count
+	// (modulo sampling noise: allow a 2-point dip).
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].SuccessRate() < res.Points[i-1].SuccessRate()-2 {
+			t.Fatalf("success rate fell from %.1f%% to %.1f%% at %d replicas",
+				res.Points[i-1].SuccessRate(), res.Points[i].SuccessRate(), res.Points[i].Replicas)
+		}
+	}
+	// One copy on flaky depots must be visibly worse than four.
+	if res.Points[0].SuccessRate() >= res.Points[3].SuccessRate() && res.Points[0].SuccessRate() == 100 {
+		t.Fatalf("1 replica (%.1f%%) should not already be perfect on flaky depots", res.Points[0].SuccessRate())
+	}
+	out := RenderReplicationStudy(res)
+	if !strings.Contains(out, "replicas") || !strings.Contains(out, "retrieval success") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exnode"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// The paper closes Test 3 asking "how much replication is enough": "In
+// Test 2, we saw that an exnode with five replicas yielded a 100%
+// retrieval rate. Test 3 employed two replicas which allowed for almost a
+// 93% retrieval rate. ... Finding the balancing point between the number
+// of replica for greater retrievability versus conserving resources will
+// need to be studied." (§3.3) This file is that study: the same file is
+// stored at every replica count from 1 to 5 on the paper's testbed, then
+// monitored and downloaded on the paper's Test 2 cadence.
+
+// ReplicationPoint is one row of the study.
+type ReplicationPoint struct {
+	Replicas      int
+	StorageFactor float64 // bytes stored / file size
+	Availability  stats.Counter
+	Successes     int
+	Failures      int
+}
+
+// SuccessRate is the retrieval percentage at this replica count.
+func (p ReplicationPoint) SuccessRate() float64 {
+	total := p.Successes + p.Failures
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(p.Successes) / float64(total)
+}
+
+// ReplicationStudyResult holds the sweep.
+type ReplicationStudyResult struct {
+	Points []ReplicationPoint
+	Rounds int
+}
+
+// RunReplicationStudy uploads the file at replica counts 1..maxReplicas
+// (each copy striped over 3 fragments, spread across the testbed's depots)
+// and measures retrievability from UTK over cfg.Rounds monitoring rounds.
+func RunReplicationStudy(tb *Testbed, cfg Config, maxReplicas int) (*ReplicationStudyResult, error) {
+	cfg = cfg.withDefaults(1_000_000, 400, 5*time.Minute)
+	if maxReplicas <= 0 {
+		maxReplicas = 5
+	}
+	tools := tb.Tools(geo.UTK, cfg.UseNWS)
+	data := experimentPayload(int(cfg.FileSize))
+
+	// Spread copies across the remote sites so replication buys site
+	// diversity, the way the paper's exnodes did.
+	depots, err := tb.InfosFor("UCSB2", "UCSB1", "UCSD2", "HARVARD", "UCSB3", "UCSD1", "UNC", "UCSD3")
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ReplicationStudyResult{Rounds: cfg.Rounds}
+	exnodes := make([]*ReplicationPoint, 0, maxReplicas)
+	var files []*replFile
+	for r := 1; r <= maxReplicas; r++ {
+		x, err := tools.Upload(fmt.Sprintf("repl-%d", r), data, core.UploadOptions{
+			Replicas:  r,
+			Fragments: 3,
+			Depots:    depots,
+			Checksum:  true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := &ReplicationPoint{Replicas: r, StorageFactor: float64(r)}
+		exnodes = append(exnodes, p)
+		files = append(files, &replFile{point: p, x: x})
+	}
+
+	roundStart := tb.Clock.Now()
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, f := range files {
+			entries := tools.List(f.x)
+			for _, e := range entries {
+				f.point.Availability.Observe(e.Available)
+			}
+			if _, _, err := tools.Download(f.x, core.DownloadOptions{}); err != nil {
+				f.point.Failures++
+			} else {
+				f.point.Successes++
+			}
+		}
+		roundStart = roundStart.Add(cfg.Interval)
+		tb.advanceTo(roundStart)
+	}
+	for _, p := range exnodes {
+		res.Points = append(res.Points, *p)
+	}
+	return res, nil
+}
+
+type replFile struct {
+	point *ReplicationPoint
+	x     *exnode.ExNode
+}
+
+// RenderReplicationStudy prints the study as the table the paper asks for.
+func RenderReplicationStudy(r *ReplicationStudyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Replication study — how much replication is enough? (paper §3.3 future work)\n")
+	fmt.Fprintf(&b, "%d rounds of list+download per replica count on the paper testbed\n\n", r.Rounds)
+	fmt.Fprintf(&b, "  %-9s %-16s %-15s %s\n", "replicas", "storage (xfile)", "availability", "retrieval success")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-9d %-16.1f %13.2f%% %16.2f%%\n",
+			p.Replicas, p.StorageFactor, p.Availability.Ratio(), p.SuccessRate())
+	}
+	return b.String()
+}

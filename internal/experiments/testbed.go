@@ -1,0 +1,283 @@
+// Package experiments reproduces the paper's evaluation (§3): three tests
+// of exNode fault-tolerance run against a simulated reconstruction of the
+// LoCI testbed — 14 IBP depots at five sites (UTK, UCSD, UCSB, Harvard,
+// UNC), monitored for three days from up to three vantage points.
+//
+// The WAN model is calibrated from the numbers the paper itself reports:
+// Harvard saw 0.73 Mbit/s to UCSB and 0.58 Mbit/s to UTK at the end of
+// Test 2; UTK downloads completed in ~1 s against ~4 s from UCSD and tens
+// of seconds from Harvard; per-segment availability ranged from ~60 % to
+// 100 % with depot crashes (including the Harvard depot's cron-restart
+// incident) and link outages (San Diego ↔ Santa Barbara).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/depot"
+	"repro/internal/faultnet"
+	"repro/internal/geo"
+	"repro/internal/ibp"
+	"repro/internal/lbone"
+	"repro/internal/nws"
+	"repro/internal/vclock"
+)
+
+// Start is the canonical experiment epoch (the paper's exnodes were
+// created Jan 11 2002; see Figure 7's expiration column).
+var Start = time.Date(2002, 1, 11, 15, 33, 48, 0, time.UTC)
+
+// OutageGrace delays every outage process past the setup uploads, which in
+// the paper happened on a healthy network. Thirty minutes out of a
+// three-day run shifts availabilities by well under one percent.
+const OutageGrace = 30 * time.Minute
+
+// DepotSpec describes one simulated depot of the testbed.
+type DepotSpec struct {
+	Name         string
+	Site         geo.Site
+	Availability float64 // steady-state availability target (1.0 = never fails)
+	MeanDown     time.Duration
+}
+
+// PaperDepots returns the 14 depots of the paper's evaluation with
+// availability targets fit to Figure 6 (per-segment availability from
+// 60.51 % for the flakiest Santa Barbara machine up to 100 % for most of
+// the Tennessee machines).
+func PaperDepots() []DepotSpec {
+	specs := []DepotSpec{
+		{Name: "UTK1", Site: geo.UTK, Availability: 1.0},
+		{Name: "UTK2", Site: geo.UTK, Availability: 0.998, MeanDown: 4 * time.Minute},
+		{Name: "UTK3", Site: geo.UTK, Availability: 1.0},
+		{Name: "UTK4", Site: geo.UTK, Availability: 1.0},
+		{Name: "UTK5", Site: geo.UTK, Availability: 0.999, MeanDown: 4 * time.Minute},
+		{Name: "UTK6", Site: geo.UTK, Availability: 0.997, MeanDown: 4 * time.Minute},
+		{Name: "UCSD1", Site: geo.UCSD, Availability: 0.98, MeanDown: 8 * time.Minute},
+		{Name: "UCSD2", Site: geo.UCSD, Availability: 0.97, MeanDown: 10 * time.Minute},
+		{Name: "UCSD3", Site: geo.UCSD, Availability: 0.985, MeanDown: 8 * time.Minute},
+		{Name: "UCSB1", Site: geo.UCSB, Availability: 0.95, MeanDown: 12 * time.Minute},
+		{Name: "UCSB2", Site: geo.UCSB, Availability: 0.62, MeanDown: 45 * time.Minute},
+		{Name: "UCSB3", Site: geo.UCSB, Availability: 0.94, MeanDown: 15 * time.Minute},
+		{Name: "HARVARD", Site: geo.Harvard, Availability: 0.95, MeanDown: 20 * time.Minute},
+		{Name: "UNC", Site: geo.UNC, Availability: 0.985, MeanDown: 8 * time.Minute},
+	}
+	return specs
+}
+
+// TestbedConfig parameterizes a simulated testbed.
+type TestbedConfig struct {
+	// Seed drives every random process (outages, jitter) deterministically.
+	Seed int64
+	// Depots to start (default PaperDepots()).
+	Depots []DepotSpec
+	// HarvardDepotOverride replaces the HARVARD depot's availability
+	// process (Test 2's scripted incident, Test 3's flaky cron loop).
+	HarvardDepotOverride faultnet.Availability
+	// UCSB3Override replaces UCSB3's availability (Test 3).
+	UCSB3Override faultnet.Availability
+	// PerfectNetwork disables all outage processes (for benches that
+	// need failure-free timing).
+	PerfectNetwork bool
+	// StableLinks keeps links outage-free while depots still fail — the
+	// Test 3 regime, where failure clustering is a depot-level story.
+	StableLinks bool
+	// Capacity per depot in bytes (default 1 GiB).
+	Capacity int64
+}
+
+// Testbed is a running simulated reconstruction of the paper's testbed.
+type Testbed struct {
+	Clock    *vclock.Virtual
+	Model    *faultnet.Model
+	Registry *lbone.Registry
+	Depots   map[string]*depot.Depot
+	Infos    map[string]lbone.DepotInfo
+	Specs    []DepotSpec
+}
+
+// NewTestbed starts the depots and wires the WAN model.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	if cfg.Depots == nil {
+		cfg.Depots = PaperDepots()
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1 << 30
+	}
+	clk := vclock.NewVirtual(Start)
+	tb := &Testbed{
+		Clock:    clk,
+		Model:    faultnet.NewModel(clk, cfg.Seed),
+		Registry: lbone.NewRegistry(0, clk.Now),
+		Depots:   map[string]*depot.Depot{},
+		Infos:    map[string]lbone.DepotInfo{},
+		Specs:    cfg.Depots,
+	}
+	tb.wireLinks(cfg)
+	for i, spec := range cfg.Depots {
+		d, err := depot.Serve("127.0.0.1:0", depot.Config{
+			Secret:   []byte("repro-" + spec.Name),
+			Capacity: cfg.Capacity,
+			Clock:    clk,
+		})
+		if err != nil {
+			tb.Close()
+			return nil, fmt.Errorf("experiments: starting %s: %w", spec.Name, err)
+		}
+		avail := tb.availabilityFor(cfg, spec, int64(i))
+		tb.Model.AddDepot(d.Addr(), faultnet.DepotState{Site: spec.Site.Name, Avail: avail})
+		info := lbone.DepotInfo{
+			Addr:        d.Addr(),
+			Name:        spec.Name,
+			Site:        spec.Site.Name,
+			Loc:         spec.Site.Loc,
+			Capacity:    cfg.Capacity,
+			MaxDuration: 30 * 24 * time.Hour,
+		}
+		tb.Registry.Register(info)
+		tb.Depots[spec.Name] = d
+		tb.Infos[spec.Name] = info
+	}
+	return tb, nil
+}
+
+func (tb *Testbed) availabilityFor(cfg TestbedConfig, spec DepotSpec, idx int64) faultnet.Availability {
+	if cfg.PerfectNetwork {
+		return faultnet.AlwaysUp{}
+	}
+	switch spec.Name {
+	case "HARVARD":
+		if cfg.HarvardDepotOverride != nil {
+			return cfg.HarvardDepotOverride
+		}
+	case "UCSB3":
+		if cfg.UCSB3Override != nil {
+			return cfg.UCSB3Override
+		}
+	}
+	if spec.Availability >= 1 {
+		return faultnet.AlwaysUp{}
+	}
+	meanDown := spec.MeanDown
+	if meanDown <= 0 {
+		meanDown = 10 * time.Minute
+	}
+	meanUp := faultnet.ForAvailability(spec.Availability, meanDown)
+	return faultnet.NewRenewalProcess(Start.Add(OutageGrace), meanUp, meanDown, cfg.Seed*1000+idx)
+}
+
+// wireLinks installs the calibrated WAN conditions.
+func (tb *Testbed) wireLinks(cfg TestbedConfig) {
+	m := tb.Model
+	m.SetLocalLink(faultnet.Link{RTT: 2 * time.Millisecond, Mbps: 30, JitterFrac: 0.1})
+	m.SetDefaultLink(faultnet.Link{RTT: 60 * time.Millisecond, Mbps: 2, JitterFrac: 0.2})
+
+	link := func(a, b string, rtt time.Duration, mbps float64, avail faultnet.Availability) {
+		if cfg.PerfectNetwork || cfg.StableLinks {
+			avail = nil
+		}
+		m.SetLink(a, b, faultnet.Link{RTT: rtt, Mbps: mbps, JitterFrac: 0.2, Avail: avail})
+	}
+	// Harvard's links: typical bandwidths chosen so Test 3's ~6.5 s mean
+	// download reproduces; the paper's 0.73 / 0.58 Mbit/s figures were an
+	// end-of-test snapshot, but their ordering (UCSB faster than UTK from
+	// Harvard — the surprise behind Figure 14) is preserved.
+	link("HARVARD", "UCSB", 85*time.Millisecond, 5.0,
+		faultnet.NewRenewalProcess(Start.Add(OutageGrace), faultnet.ForAvailability(0.98, 8*time.Minute), 8*time.Minute, cfg.Seed*17+7))
+	link("HARVARD", "UTK", 30*time.Millisecond, 3.2,
+		faultnet.NewRenewalProcess(Start.Add(OutageGrace), faultnet.ForAvailability(0.985, 8*time.Minute), 8*time.Minute, cfg.Seed*17+9))
+	link("HARVARD", "UCSD", 80*time.Millisecond, 3.5,
+		faultnet.NewRenewalProcess(Start.Add(OutageGrace), faultnet.ForAvailability(0.98, 8*time.Minute), 8*time.Minute, cfg.Seed*17+11))
+	link("HARVARD", "UNC", 25*time.Millisecond, 8.0, nil)
+	// Cross-country links from Tennessee.
+	link("UTK", "UCSD", 55*time.Millisecond, 3.0, nil)
+	link("UTK", "UCSB", 55*time.Millisecond, 3.0,
+		faultnet.NewRenewalProcess(Start.Add(OutageGrace), faultnet.ForAvailability(0.99, 5*time.Minute), 5*time.Minute, cfg.Seed*17+3))
+	link("UTK", "UNC", 20*time.Millisecond, 8.0, nil)
+	// California: decent bandwidth but a flaky SD↔SB path (the paper saw
+	// "more network outages from San Diego to Santa Barbara than from
+	// Knoxville").
+	link("UCSD", "UCSB", 12*time.Millisecond, 5.0,
+		faultnet.NewRenewalProcess(Start.Add(OutageGrace), faultnet.ForAvailability(0.88, 12*time.Minute), 12*time.Minute, cfg.Seed*17+5))
+	link("UCSD", "UNC", 65*time.Millisecond, 2.0, nil)
+	link("UCSB", "UNC", 65*time.Millisecond, 2.0, nil)
+}
+
+// Close stops every depot.
+func (tb *Testbed) Close() {
+	for _, d := range tb.Depots {
+		d.Close()
+	}
+}
+
+// Tools builds a Logistical Tools client at the given site.
+func (tb *Testbed) Tools(site geo.Site, useNWS bool) *core.Tools {
+	client := ibp.NewClient(
+		ibp.WithDialer(tb.Model.DialerFrom(site.Name)),
+		ibp.WithClock(tb.Clock),
+		ibp.WithDialTimeout(3*time.Second),
+		ibp.WithOpTimeout(90*time.Second),
+	)
+	t := &core.Tools{
+		IBP:   client,
+		LBone: core.RegistrySource{Reg: tb.Registry},
+		Clock: tb.Clock,
+		Site:  site.Name,
+		Loc:   site.Loc,
+	}
+	if useNWS {
+		t.NWS = nws.NewService(tb.Clock, 256)
+	}
+	return t
+}
+
+// InfosFor returns DepotInfo entries by name, in order.
+func (tb *Testbed) InfosFor(names ...string) ([]lbone.DepotInfo, error) {
+	out := make([]lbone.DepotInfo, len(names))
+	for i, n := range names {
+		info, ok := tb.Infos[n]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown depot %q", n)
+		}
+		out[i] = info
+	}
+	return out, nil
+}
+
+// RegisterWiderLBone adds the additional L-Bone localities of the paper's
+// Figure 2 (TAMU, Wisconsin, UIUC, Stuttgart, Turin) as registry entries,
+// for the L-Bone listing figure. They host no running depots and are only
+// visible in registry listings.
+func (tb *Testbed) RegisterWiderLBone() {
+	extras := []struct {
+		name string
+		site geo.Site
+		n    int
+	}{
+		{"TAMUS", geo.TAMU, 2},
+		{"UWI", geo.UWi, 1},
+		{"UIUC", geo.UIUC, 1},
+		{"UNC2", geo.UNC, 1},
+		{"STUTTGART", geo.Stuttgart, 1},
+		{"TURIN", geo.Turin, 1},
+	}
+	port := 7000
+	for _, e := range extras {
+		for i := 1; i <= e.n; i++ {
+			name := e.name
+			if e.n > 1 {
+				name = fmt.Sprintf("%s%d", e.name, i)
+			}
+			tb.Registry.Register(lbone.DepotInfo{
+				Addr:        fmt.Sprintf("203.0.113.%d:%d", port%250+1, port),
+				Name:        name,
+				Site:        e.site.Name,
+				Loc:         e.site.Loc,
+				Capacity:    140 << 30,
+				MaxDuration: 30 * 24 * time.Hour,
+			})
+			port++
+		}
+	}
+}

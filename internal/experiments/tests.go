@@ -1,0 +1,447 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exnode"
+	"repro/internal/faultnet"
+	"repro/internal/geo"
+	"repro/internal/nws"
+	"repro/internal/stats"
+)
+
+// Config scales an experiment run. Zero values take the paper's
+// parameters; tests and benches shrink them.
+type Config struct {
+	Seed     int64
+	FileSize int64         // bytes (Test 1 default 1 MB, Tests 2-3 default 3 MB)
+	Rounds   int           // monitoring rounds
+	Interval time.Duration // time between rounds
+	UseNWS   bool          // consult NWS forecasts during downloads
+}
+
+func (c Config) withDefaults(fileSize int64, rounds int, interval time.Duration) Config {
+	if c.FileSize <= 0 {
+		c.FileSize = fileSize
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = rounds
+	}
+	if c.Interval <= 0 {
+		c.Interval = interval
+	}
+	return c
+}
+
+// SegmentStat is availability of one exnode segment over a run.
+type SegmentStat struct {
+	Depot   string
+	Offset  int64
+	Length  int64
+	Replica int
+	Counter stats.Counter
+}
+
+// AvailabilityStats aggregates per-segment probe outcomes.
+type AvailabilityStats struct {
+	Segments []SegmentStat
+	Overall  stats.Counter
+}
+
+// PerDepot aggregates segment counters by depot name (the paper's
+// availability figures are per depot).
+func (a *AvailabilityStats) PerDepot() (names []string, ratios []float64) {
+	idx := map[string]int{}
+	var counters []stats.Counter
+	for _, s := range a.Segments {
+		i, ok := idx[s.Depot]
+		if !ok {
+			i = len(names)
+			idx[s.Depot] = i
+			names = append(names, s.Depot)
+			counters = append(counters, stats.Counter{})
+		}
+		counters[i].OK += s.Counter.OK
+		counters[i].Fail += s.Counter.Fail
+	}
+	ratios = make([]float64, len(counters))
+	for i, c := range counters {
+		ratios[i] = c.Ratio()
+	}
+	return names, ratios
+}
+
+// MinMaxSegment returns the lowest and highest per-segment availability.
+func (a *AvailabilityStats) MinMaxSegment() (min, max float64) {
+	min, max = 101, -1
+	for _, s := range a.Segments {
+		r := s.Counter.Ratio()
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	return min, max
+}
+
+// observe runs one List round into the stats.
+func (a *AvailabilityStats) observe(entries []core.ListEntry) {
+	for i, e := range entries {
+		a.Segments[i].Counter.Observe(e.Available)
+		a.Overall.Observe(e.Available)
+	}
+}
+
+func newAvailabilityStats(x *exnode.ExNode) *AvailabilityStats {
+	a := &AvailabilityStats{Segments: make([]SegmentStat, len(x.Mappings))}
+	for i, m := range x.Mappings {
+		a.Segments[i] = SegmentStat{Depot: m.Depot, Offset: m.Offset, Length: m.Length, Replica: m.Replica}
+	}
+	return a
+}
+
+// ---- Test 1 ----
+
+// Test1Result reproduces §3.1: availability of a 1 MB, 5-replica,
+// 27-segment exnode checked by List every 20 seconds for three days from
+// UTK.
+type Test1Result struct {
+	ExNode       *exnode.ExNode
+	Availability *AvailabilityStats
+	Rounds       int
+	SampleList   string // one formatted List snapshot (Figure 7)
+}
+
+// RunTest1 executes Test 1 on the testbed.
+func RunTest1(tb *Testbed, cfg Config) (*Test1Result, error) {
+	cfg = cfg.withDefaults(1_000_000, 12440, 20*time.Second)
+	tools := tb.Tools(geo.UTK, cfg.UseNWS)
+	layout, err := tb.Test1Layout(cfg.FileSize)
+	if err != nil {
+		return nil, err
+	}
+	data := experimentPayload(int(cfg.FileSize))
+	x, err := tools.UploadLayout("data1mb.xnd", data, layout, core.UploadOptions{Checksum: true})
+	if err != nil {
+		return nil, err
+	}
+	res := &Test1Result{ExNode: x, Availability: newAvailabilityStats(x), Rounds: cfg.Rounds}
+	roundStart := tb.Clock.Now()
+	for round := 0; round < cfg.Rounds; round++ {
+		if round%(probeEvery*15) == 0 { // Test 1 rounds are 20 s apart
+			tb.nwsProbe(tools)
+		}
+		entries := tools.List(x)
+		res.Availability.observe(entries)
+		if res.SampleList == "" && anyUnavailable(entries) {
+			res.SampleList = core.FormatList(x.Name, x.Size, entries)
+		}
+		roundStart = roundStart.Add(cfg.Interval)
+		tb.advanceTo(roundStart)
+	}
+	if res.SampleList == "" {
+		res.SampleList = core.FormatList(x.Name, x.Size, tools.List(x))
+	}
+	return res, nil
+}
+
+func anyUnavailable(entries []core.ListEntry) bool {
+	for _, e := range entries {
+		if !e.Available {
+			return true
+		}
+	}
+	return false
+}
+
+// probeEvery is how many monitoring rounds pass between NWS sensor sweeps
+// of all depots (the paper's testbed ran continuous NWS sensors; periodic
+// refresh approximates that at far lower simulation cost).
+const probeEvery = 12
+
+// ProbeNWS sweeps bandwidth/latency sensors across every depot for one
+// vantage point; depots that are down simply contribute no sample. The
+// benchmark harness also uses it to prime forecasts before timing
+// downloads.
+func (tb *Testbed) ProbeNWS(tools *core.Tools) {
+	if tools.NWS == nil {
+		return
+	}
+	sensor := nws.NewSensor(tools.NWS, tools.IBP, tb.Clock, tools.Site, 512<<10)
+	for _, spec := range tb.Specs {
+		_ = sensor.ProbeDepot(tb.Infos[spec.Name].Addr)
+	}
+}
+
+// nwsProbe is the internal alias used by the run loops.
+func (tb *Testbed) nwsProbe(tools *core.Tools) { tb.ProbeNWS(tools) }
+
+// advanceTo moves the virtual clock forward to t (no-op if already past —
+// a slow simulated download can overrun a round boundary, exactly like a
+// real monitoring cron would).
+func (tb *Testbed) advanceTo(t time.Time) {
+	now := tb.Clock.Now()
+	if t.After(now) {
+		tb.Clock.Advance(t.Sub(now))
+	}
+}
+
+// ---- Test 2 ----
+
+// SiteRun is one vantage point's monitoring record in Test 2.
+type SiteRun struct {
+	Site         geo.Site
+	Availability *AvailabilityStats
+	Times        []time.Duration // successful download times
+	Successes    int
+	Failures     int
+	Path         *stats.PathHistogram
+	// Timeline records the per-round segment availability percentage —
+	// the temporal view that shows incidents like the Harvard depot's
+	// cron-restart outage as a dip.
+	Timeline []float64
+}
+
+// observeRound records one monitoring round into the availability stats
+// and the timeline.
+func (s *SiteRun) observeRound(entries []core.ListEntry) {
+	s.Availability.observe(entries)
+	s.Timeline = append(s.Timeline, core.Availability(entries))
+}
+
+// TimeSummary summarizes the download times.
+func (s *SiteRun) TimeSummary() stats.Summary {
+	return stats.Summarize(stats.DurationsToSeconds(s.Times))
+}
+
+// SuccessRate returns the percentage of downloads that retrieved the file.
+func (s *SiteRun) SuccessRate() float64 {
+	total := s.Successes + s.Failures
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Successes) / float64(total)
+}
+
+// Test2Result reproduces §3.2: the 3 MB, 5-copy, 21-segment exnode
+// monitored and downloaded from UTK, UCSD and Harvard every five minutes
+// for three days.
+type Test2Result struct {
+	ExNode *exnode.ExNode
+	Sites  []*SiteRun
+	Rounds int
+}
+
+// SiteRun returns the record for a site name.
+func (r *Test2Result) SiteRun(name string) *SiteRun {
+	for _, s := range r.Sites {
+		if s.Site.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Test2HarvardIncident is the scripted depot outage of §3.2 ("the IBP
+// depot went down for a period of time during the tests. The depot has
+// automatic restart as a cron job"): down for six hours on day two, then
+// flapping briefly as cron brings it back.
+func Test2HarvardIncident(total time.Duration) faultnet.Availability {
+	dayTwo := Start.Add(30 * time.Hour)
+	return faultnet.All{
+		faultnet.NewRenewalProcess(Start.Add(OutageGrace), faultnet.ForAvailability(0.97, 15*time.Minute), 15*time.Minute, 771),
+		faultnet.Windows{Down: []faultnet.Window{
+			{From: dayTwo, To: dayTwo.Add(6 * time.Hour)},
+			{From: dayTwo.Add(7 * time.Hour), To: dayTwo.Add(7*time.Hour + 30*time.Minute)},
+		}},
+	}
+}
+
+// RunTest2 executes Test 2 from the three vantage points, interleaved
+// round by round as the paper ran them concurrently.
+func RunTest2(tb *Testbed, cfg Config) (*Test2Result, error) {
+	cfg = cfg.withDefaults(3_000_000, 860, 5*time.Minute)
+	uploader := tb.Tools(geo.UTK, false)
+	layout, err := tb.Test2Layout(cfg.FileSize)
+	if err != nil {
+		return nil, err
+	}
+	data := experimentPayload(int(cfg.FileSize))
+	x, err := uploader.UploadLayout("data3mb.xnd", data, layout, core.UploadOptions{Checksum: true})
+	if err != nil {
+		return nil, err
+	}
+	res := &Test2Result{ExNode: x, Rounds: cfg.Rounds}
+	sites := []geo.Site{geo.UTK, geo.UCSD, geo.Harvard}
+	toolsBySite := map[string]*core.Tools{}
+	for _, site := range sites {
+		res.Sites = append(res.Sites, &SiteRun{
+			Site:         site,
+			Availability: newAvailabilityStats(x),
+			Path:         stats.NewPathHistogram(),
+		})
+		toolsBySite[site.Name] = tb.Tools(site, cfg.UseNWS)
+	}
+	roundStart := tb.Clock.Now()
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, run := range res.Sites {
+			tools := toolsBySite[run.Site.Name]
+			if round%probeEvery == 0 {
+				tb.nwsProbe(tools)
+			}
+			run.observeRound(tools.List(x))
+			start := tb.Clock.Now()
+			_, rep, err := tools.Download(x, core.DownloadOptions{})
+			if err != nil {
+				run.Failures++
+				continue
+			}
+			run.Successes++
+			run.Times = append(run.Times, tb.Clock.Since(start))
+			for _, er := range rep.Extents {
+				run.Path.Observe(er.Start, er.End, er.Depot)
+			}
+		}
+		roundStart = roundStart.Add(cfg.Interval)
+		tb.advanceTo(roundStart)
+	}
+	return res, nil
+}
+
+// ---- Test 3 ----
+
+// Test3Result reproduces §3.3: the Test 2 exnode with 12 of 21 byte
+// arrays deleted, downloaded from Harvard every 2.5 minutes.
+type Test3Result struct {
+	Full       *exnode.ExNode // before trimming
+	Trimmed    *exnode.ExNode
+	Run        *SiteRun
+	FirstFail  int // round index of the first failed download (-1 = none)
+	Rounds     int
+	DeletedIBP int // byte arrays removed from depots
+}
+
+// Test3HarvardAvailability is the flaky cron-restart loop of §3.3: the
+// Harvard depot alternates 30 minutes up / 30 minutes down (≈50 %,
+// matching the measured 48.24 %), and is pinned down for the final-failure
+// window along with UCSB3.
+func Test3HarvardAvailability(failFrom, end time.Time) faultnet.Availability {
+	var downs []faultnet.Window
+	for t := Start.Add(OutageGrace); t.Before(end); t = t.Add(time.Hour) {
+		downs = append(downs, faultnet.Window{From: t.Add(30 * time.Minute), To: t.Add(time.Hour)})
+	}
+	downs = append(downs, faultnet.Window{From: failFrom, To: end})
+	return faultnet.Windows{Down: downs}
+}
+
+// Test3UCSB3Availability gives UCSB3 ~94 % availability with down windows
+// placed only while Harvard is up — so the doubly-stored first sixth never
+// loses both copies until the scripted final window, reproducing the
+// paper's 1,150 successes followed by 75 failures.
+func Test3UCSB3Availability(failFrom, end time.Time) faultnet.Availability {
+	var downs []faultnet.Window
+	for t := Start.Add(OutageGrace); t.Before(end); t = t.Add(2 * time.Hour) {
+		downs = append(downs, faultnet.Window{From: t.Add(5 * time.Minute), To: t.Add(13 * time.Minute)})
+	}
+	downs = append(downs, faultnet.Window{From: failFrom, To: end})
+	return faultnet.Windows{Down: downs}
+}
+
+// Test3FailWindow computes the scripted final-failure window for a run.
+func Test3FailWindow(cfg Config) (failFrom, end time.Time) {
+	cfg = cfg.withDefaults(3_000_000, 1225, 150*time.Second)
+	failRounds := cfg.Rounds / 16 // ≈75 of 1225, scaled for short runs
+	if failRounds < 1 {
+		failRounds = 1
+	}
+	end = Start.Add(time.Duration(cfg.Rounds) * cfg.Interval).Add(time.Hour)
+	failFrom = Start.Add(time.Duration(cfg.Rounds-failRounds) * cfg.Interval)
+	return failFrom, end
+}
+
+// RunTest3 executes Test 3 on a testbed built with the Test 3 overrides
+// (see Test3HarvardAvailability / Test3UCSB3Availability).
+func RunTest3(tb *Testbed, cfg Config) (*Test3Result, error) {
+	cfg = cfg.withDefaults(3_000_000, 1225, 150*time.Second)
+	uploader := tb.Tools(geo.UTK, false)
+	layout, err := tb.Test2Layout(cfg.FileSize)
+	if err != nil {
+		return nil, err
+	}
+	data := experimentPayload(int(cfg.FileSize))
+	x, err := uploader.UploadLayout("data3mb.xnd", data, layout, core.UploadOptions{Checksum: true})
+	if err != nil {
+		return nil, err
+	}
+	// Delete 12 of the 21 byte arrays from their depots (paper: "we
+	// deleted 12 of the 21 byte-arrays from their IBP depots").
+	trimmed, err := uploader.Trim(x, core.TrimOptions{
+		Indices:       Test3DeleteIndices(),
+		DeleteFromIBP: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tools := tb.Tools(geo.Harvard, cfg.UseNWS)
+	run := &SiteRun{Site: geo.Harvard, Availability: newAvailabilityStats(trimmed), Path: stats.NewPathHistogram()}
+	res := &Test3Result{
+		Full:       x,
+		Trimmed:    trimmed,
+		Run:        run,
+		FirstFail:  -1,
+		Rounds:     cfg.Rounds,
+		DeletedIBP: len(Test3DeleteIndices()),
+	}
+	roundStart := tb.Clock.Now()
+	for round := 0; round < cfg.Rounds; round++ {
+		if round%probeEvery == 0 {
+			tb.nwsProbe(tools)
+		}
+		run.observeRound(tools.List(trimmed))
+		start := tb.Clock.Now()
+		_, rep, err := tools.Download(trimmed, core.DownloadOptions{})
+		if err != nil {
+			run.Failures++
+			if res.FirstFail == -1 {
+				res.FirstFail = round
+			}
+		} else {
+			run.Successes++
+			run.Times = append(run.Times, tb.Clock.Since(start))
+			for _, er := range rep.Extents {
+				run.Path.Observe(er.Start, er.End, er.Depot)
+			}
+		}
+		roundStart = roundStart.Add(cfg.Interval)
+		tb.advanceTo(roundStart)
+	}
+	return res, nil
+}
+
+// experimentPayload builds deterministic file contents.
+func experimentPayload(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i*2654435761 + i>>11)
+	}
+	return out
+}
+
+// LayoutSegments converts an exnode into stats.Segment rows for the
+// layout figures (Figures 5, 8, 15).
+func LayoutSegments(x *exnode.ExNode, deleted map[int]bool) []stats.Segment {
+	out := make([]stats.Segment, 0, len(x.Mappings))
+	for i, m := range x.Mappings {
+		out = append(out, stats.Segment{
+			Label:   m.Depot,
+			Start:   m.Offset,
+			End:     m.End(),
+			Row:     m.Replica,
+			Deleted: deleted[i],
+		})
+	}
+	return out
+}

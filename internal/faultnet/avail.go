@@ -1,0 +1,149 @@
+// Package faultnet simulates the wide-area network of the paper's testbed:
+// per-site-pair latency and bandwidth, depot and link outages, and data
+// corruption, injected underneath the real TCP sockets the stack uses.
+//
+// Clients obtain a netx.Dialer scoped to their vantage-point site from a
+// Model; the returned connections are shaped against the model and advance
+// the experiment's virtual clock by the simulated transfer time, so
+// download durations measured by the tools reflect WAN conditions rather
+// than loopback speed. Nothing above this package knows it is simulated —
+// swap the dialer for netx.System() and the same binaries run on a real
+// network.
+package faultnet
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Availability answers whether a resource (depot process or network link)
+// is up at a given instant.
+type Availability interface {
+	UpAt(t time.Time) bool
+}
+
+// AlwaysUp is an Availability that never fails.
+type AlwaysUp struct{}
+
+// UpAt implements Availability.
+func (AlwaysUp) UpAt(time.Time) bool { return true }
+
+// RenewalProcess models crash/repair cycles as an alternating renewal
+// process with exponentially distributed up and down durations — the
+// standard availability model, fit here to the per-depot availabilities
+// the paper observed (60.51%–100%).
+type RenewalProcess struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	meanUp      time.Duration
+	meanDown    time.Duration
+	start       time.Time
+	transitions []time.Time // alternating up->down, down->up boundaries after start
+}
+
+// NewRenewalProcess creates a process that is up at start, stays up for
+// Exp(meanUp), down for Exp(meanDown), and so on, deterministically from
+// seed.
+func NewRenewalProcess(start time.Time, meanUp, meanDown time.Duration, seed int64) *RenewalProcess {
+	if meanUp <= 0 {
+		meanUp = time.Hour
+	}
+	if meanDown <= 0 {
+		meanDown = time.Minute
+	}
+	return &RenewalProcess{
+		rng:      rand.New(rand.NewSource(seed)),
+		meanUp:   meanUp,
+		meanDown: meanDown,
+		start:    start,
+	}
+}
+
+// ExpectedAvailability returns the steady-state availability of the
+// process, meanUp/(meanUp+meanDown).
+func (p *RenewalProcess) ExpectedAvailability() float64 {
+	return float64(p.meanUp) / float64(p.meanUp+p.meanDown)
+}
+
+// UpAt implements Availability. Queries may arrive in any time order; the
+// transition timeline is extended lazily and deterministically.
+func (p *RenewalProcess) UpAt(t time.Time) bool {
+	if t.Before(p.start) {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.extendTo(t)
+	// transitions[i] is the time of the i-th state flip; even count of
+	// flips before t means "up".
+	idx := sort.Search(len(p.transitions), func(i int) bool { return p.transitions[i].After(t) })
+	return idx%2 == 0
+}
+
+func (p *RenewalProcess) extendTo(t time.Time) {
+	last := p.start
+	if n := len(p.transitions); n > 0 {
+		last = p.transitions[n-1]
+	}
+	for !last.After(t) {
+		var mean time.Duration
+		if len(p.transitions)%2 == 0 {
+			mean = p.meanUp
+		} else {
+			mean = p.meanDown
+		}
+		d := time.Duration(p.rng.ExpFloat64() * float64(mean))
+		if d < time.Second {
+			d = time.Second
+		}
+		last = last.Add(d)
+		p.transitions = append(p.transitions, last)
+	}
+}
+
+// Windows is a scripted Availability: down exactly during the listed
+// half-open windows. The experiment harness uses it for the paper's
+// "Harvard depot went down and cron restarted it" incident (§3.2).
+type Windows struct {
+	Down []Window
+}
+
+// Window is a half-open time interval [From, To).
+type Window struct {
+	From, To time.Time
+}
+
+// UpAt implements Availability.
+func (w Windows) UpAt(t time.Time) bool {
+	for _, win := range w.Down {
+		if !t.Before(win.From) && t.Before(win.To) {
+			return false
+		}
+	}
+	return true
+}
+
+// All combines availabilities: up only when every member is up.
+type All []Availability
+
+// UpAt implements Availability.
+func (a All) UpAt(t time.Time) bool {
+	for _, m := range a {
+		if !m.UpAt(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForAvailability returns renewal-process parameters whose steady state
+// matches the target availability fraction (e.g. 0.95) with the given mean
+// down time. Useful when fitting the paper's observed numbers.
+func ForAvailability(target float64, meanDown time.Duration) (meanUp time.Duration) {
+	if target <= 0 || target >= 1 {
+		return time.Duration(1<<62 - 1)
+	}
+	return time.Duration(float64(meanDown) * target / (1 - target))
+}

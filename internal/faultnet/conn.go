@@ -1,0 +1,109 @@
+package faultnet
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// shapedConn wraps a real loopback connection and charges simulated WAN
+// time for everything that crosses it. It implements netx.VirtualDeadliner
+// so client operation timeouts are enforced in simulated time.
+type shapedConn struct {
+	net.Conn
+	model   *Model
+	link    Link
+	depot   DepotState
+	jitter  float64
+	srcSite string
+
+	mu        sync.Mutex
+	vdeadline time.Time
+	lastWrite bool // last shaped op was a write (next read pays an RTT)
+	corrupted bool // one byte already flipped on this conn
+}
+
+// SetVirtualDeadline implements netx.VirtualDeadliner.
+func (c *shapedConn) SetVirtualDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.vdeadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+// effectiveMbps applies per-connection jitter to the link bandwidth.
+func (c *shapedConn) effectiveMbps() float64 {
+	mbps := c.link.Mbps * c.jitter
+	if mbps <= 0 {
+		mbps = 0.1
+	}
+	return mbps
+}
+
+// charge advances simulated time for n transferred bytes (plus an optional
+// RTT) and enforces outages and the virtual deadline.
+func (c *shapedConn) charge(n int, rtt bool) error {
+	d := time.Duration(float64(n*8) / (c.effectiveMbps() * 1e6) * float64(time.Second))
+	if rtt {
+		d += c.link.RTT
+	}
+	c.model.advanceClock(d)
+	now := c.model.clock.Now()
+
+	c.mu.Lock()
+	deadline := c.vdeadline
+	c.mu.Unlock()
+	if !deadline.IsZero() && now.After(deadline) {
+		return os.ErrDeadlineExceeded
+	}
+	// Mid-transfer failure: the depot or link went down while the bytes
+	// were in flight.
+	if !c.depot.avail().UpAt(now) {
+		return &net.OpError{Op: "read", Err: timeoutError{"depot failed mid-transfer"}}
+	}
+	if !c.link.avail().UpAt(now) {
+		return &net.OpError{Op: "read", Err: timeoutError{"link failed mid-transfer"}}
+	}
+	return nil
+}
+
+// Read shapes inbound data: bandwidth delay per byte, one RTT when this
+// read answers a preceding write (a request/response turn).
+func (c *shapedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.mu.Lock()
+		turn := c.lastWrite
+		c.lastWrite = false
+		// Corrupt only bulk chunks (≥256 bytes): protocol status lines are
+		// short, so the flip deterministically lands in payload bytes —
+		// modelling silent storage corruption rather than a framing error.
+		needCorrupt := c.depot.CorruptReads && !c.corrupted && n >= 256
+		if needCorrupt {
+			c.corrupted = true
+		}
+		c.mu.Unlock()
+		if needCorrupt {
+			p[n/2] ^= 0x55
+		}
+		if cerr := c.charge(n, turn); cerr != nil {
+			return n, cerr
+		}
+	}
+	return n, err
+}
+
+// Write shapes outbound data.
+func (c *shapedConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.mu.Lock()
+		c.lastWrite = true
+		c.mu.Unlock()
+		if cerr := c.charge(n, false); cerr != nil {
+			return n, cerr
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,106 @@
+// Package geo provides the site geometry used for proximity resolution.
+//
+// The L-Bone lets clients ask for depots "close to" a city, airport, zip
+// code, or host (paper §2.2). We model locations as latitude/longitude
+// points and resolve proximity with great-circle distance. The package also
+// ships the coordinates of the five sites used in the paper's evaluation so
+// the experiment harness can reconstruct the testbed topology.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is a location on the Earth's surface in decimal degrees.
+type Point struct {
+	Lat float64 // latitude, positive north
+	Lon float64 // longitude, positive east
+}
+
+// EarthRadiusKm is the mean Earth radius used by Distance.
+const EarthRadiusKm = 6371.0
+
+// Distance returns the great-circle distance between a and b in kilometers
+// using the haversine formula.
+func Distance(a, b Point) float64 {
+	const deg = math.Pi / 180
+	lat1, lat2 := a.Lat*deg, b.Lat*deg
+	dLat := (b.Lat - a.Lat) * deg
+	dLon := (b.Lon - a.Lon) * deg
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// Site is a named location hosting one or more depots.
+type Site struct {
+	Name  string // canonical short name, e.g. "UTK"
+	City  string
+	State string
+	Zip   string
+	Loc   Point
+}
+
+// Sites used in the paper's evaluation (§3) plus the additional L-Bone
+// localities shown in Figure 2.
+var (
+	UTK       = Site{Name: "UTK", City: "Knoxville", State: "TN", Zip: "37996", Loc: Point{35.96, -83.92}}
+	UCSD      = Site{Name: "UCSD", City: "San Diego", State: "CA", Zip: "92093", Loc: Point{32.88, -117.23}}
+	UCSB      = Site{Name: "UCSB", City: "Santa Barbara", State: "CA", Zip: "93106", Loc: Point{34.41, -119.85}}
+	Harvard   = Site{Name: "HARVARD", City: "Cambridge", State: "MA", Zip: "02138", Loc: Point{42.37, -71.12}}
+	UNC       = Site{Name: "UNC", City: "Raleigh", State: "NC", Zip: "27601", Loc: Point{35.78, -78.64}}
+	TAMU      = Site{Name: "TAMU", City: "College Station", State: "TX", Zip: "77843", Loc: Point{30.62, -96.34}}
+	UWi       = Site{Name: "UWI", City: "Madison", State: "WI", Zip: "53706", Loc: Point{43.07, -89.40}}
+	UIUC      = Site{Name: "UIUC", City: "Urbana", State: "IL", Zip: "61801", Loc: Point{40.11, -88.23}}
+	Stuttgart = Site{Name: "STUTTGART", City: "Stuttgart", State: "DE", Zip: "70173", Loc: Point{48.78, 9.18}}
+	Turin     = Site{Name: "TURIN", City: "Turin", State: "IT", Zip: "10121", Loc: Point{45.07, 7.69}}
+)
+
+// KnownSites lists every site this package knows about, in a stable order.
+func KnownSites() []Site {
+	return []Site{UTK, UCSD, UCSB, Harvard, UNC, TAMU, UWi, UIUC, Stuttgart, Turin}
+}
+
+// LookupSite resolves a site by name (case-insensitive). The second result
+// reports whether the site is known.
+func LookupSite(name string) (Site, bool) {
+	n := strings.ToUpper(strings.TrimSpace(name))
+	for _, s := range KnownSites() {
+		if s.Name == n {
+			return s, true
+		}
+	}
+	return Site{}, false
+}
+
+// Ref is anything with a location — depots satisfy this so proximity
+// ordering works on them directly.
+type Ref interface {
+	Location() Point
+}
+
+// SortByDistance orders refs by ascending great-circle distance from p.
+// Ties keep their original relative order (stable).
+func SortByDistance[T Ref](p Point, refs []T) {
+	sort.SliceStable(refs, func(i, j int) bool {
+		return Distance(p, refs[i].Location()) < Distance(p, refs[j].Location())
+	})
+}
+
+// String renders the point as "lat,lon" with 4 decimal places.
+func (p Point) String() string { return fmt.Sprintf("%.4f,%.4f", p.Lat, p.Lon) }
+
+// ParsePoint parses the "lat,lon" format produced by String.
+func ParsePoint(s string) (Point, error) {
+	var p Point
+	if _, err := fmt.Sscanf(strings.TrimSpace(s), "%f,%f", &p.Lat, &p.Lon); err != nil {
+		return Point{}, fmt.Errorf("geo: bad point %q: %w", s, err)
+	}
+	if p.Lat < -90 || p.Lat > 90 || p.Lon < -180 || p.Lon > 180 {
+		return Point{}, fmt.Errorf("geo: point %q out of range", s)
+	}
+	return p, nil
+}

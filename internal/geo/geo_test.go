@@ -1,0 +1,109 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceZero(t *testing.T) {
+	if d := Distance(UTK.Loc, UTK.Loc); d != 0 {
+		t.Fatalf("Distance(p,p) = %v, want 0", d)
+	}
+}
+
+func TestDistanceKnownPairs(t *testing.T) {
+	// Knoxville to San Diego is roughly 2,900 km.
+	d := Distance(UTK.Loc, UCSD.Loc)
+	if d < 2500 || d > 3400 {
+		t.Fatalf("UTK-UCSD distance = %.0f km, want ~2900", d)
+	}
+	// Knoxville to Raleigh is much closer than Knoxville to Santa Barbara.
+	if Distance(UTK.Loc, UNC.Loc) >= Distance(UTK.Loc, UCSB.Loc) {
+		t.Fatal("UTK should be closer to UNC than to UCSB")
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(aLat, aLon, bLat, bLon float64) bool {
+		a := Point{clampLat(aLat), clampLon(aLon)}
+		b := Point{clampLat(bLat), clampLon(bLon)}
+		d1, d2 := Distance(a, b), Distance(b, a)
+		return math.Abs(d1-d2) < 1e-9 && d1 >= 0 && d1 <= math.Pi*EarthRadiusKm+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(aLat, aLon, bLat, bLon, cLat, cLon float64) bool {
+		a := Point{clampLat(aLat), clampLon(aLon)}
+		b := Point{clampLat(bLat), clampLon(bLon)}
+		c := Point{clampLat(cLat), clampLon(cLon)}
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clampLat(v float64) float64 { return clamp(v, 90) }
+func clampLon(v float64) float64 { return clamp(v, 180) }
+
+func clamp(v, lim float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, lim)
+}
+
+type locRef struct{ p Point }
+
+func (l locRef) Location() Point { return l.p }
+
+func TestSortByDistance(t *testing.T) {
+	refs := []locRef{{UCSB.Loc}, {Harvard.Loc}, {UNC.Loc}, {UTK.Loc}}
+	SortByDistance(UTK.Loc, refs)
+	wantOrder := []Point{UTK.Loc, UNC.Loc, Harvard.Loc, UCSB.Loc}
+	for i, w := range wantOrder {
+		if refs[i].p != w {
+			t.Fatalf("position %d = %v, want %v", i, refs[i].p, w)
+		}
+	}
+}
+
+func TestLookupSite(t *testing.T) {
+	s, ok := LookupSite("utk")
+	if !ok || s.Name != "UTK" {
+		t.Fatalf("LookupSite(utk) = %v, %v", s, ok)
+	}
+	if _, ok := LookupSite("nowhere"); ok {
+		t.Fatal("LookupSite(nowhere) should fail")
+	}
+	for _, site := range KnownSites() {
+		got, ok := LookupSite(site.Name)
+		if !ok || got.Name != site.Name {
+			t.Fatalf("KnownSites entry %q not resolvable", site.Name)
+		}
+	}
+}
+
+func TestPointRoundTrip(t *testing.T) {
+	p := Point{35.96, -83.92}
+	got, err := ParsePoint(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Lat-p.Lat) > 1e-3 || math.Abs(got.Lon-p.Lon) > 1e-3 {
+		t.Fatalf("round trip %v -> %v", p, got)
+	}
+}
+
+func TestParsePointErrors(t *testing.T) {
+	for _, bad := range []string{"", "abc", "91,0", "0,181", "12"} {
+		if _, err := ParsePoint(bad); err == nil {
+			t.Fatalf("ParsePoint(%q) should fail", bad)
+		}
+	}
+}

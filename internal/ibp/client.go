@@ -1,0 +1,472 @@
+package ibp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/netx"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// Client is the IBP client library. The zero value is not usable; call
+// NewClient. A Client is safe for concurrent use: each operation opens its
+// own connection, matching the original IBP library's per-call model.
+type Client struct {
+	dialer      netx.Dialer
+	clock       vclock.Clock
+	dialTimeout time.Duration
+	opTimeout   time.Duration
+	pool        *connPool
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithDialer sets the dialer (default: the system network stack).
+func WithDialer(d netx.Dialer) Option { return func(c *Client) { c.dialer = d } }
+
+// WithClock sets the clock used for deadlines (default: real time).
+func WithClock(ck vclock.Clock) Option { return func(c *Client) { c.clock = ck } }
+
+// WithDialTimeout bounds connection establishment (default 5s).
+func WithDialTimeout(d time.Duration) Option { return func(c *Client) { c.dialTimeout = d } }
+
+// WithOpTimeout bounds a single protocol exchange (default 30s). The
+// download tool relies on this to fail over between replicas.
+func WithOpTimeout(d time.Duration) Option { return func(c *Client) { c.opTimeout = d } }
+
+// NewClient builds a client with the given options.
+func NewClient(opts ...Option) *Client {
+	c := &Client{
+		dialer:      netx.System(),
+		clock:       vclock.Real(),
+		dialTimeout: 5 * time.Second,
+		opTimeout:   30 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// dialFresh opens a new connection to addr with the operation deadline
+// applied.
+func (c *Client) dialFresh(addr string) (*wire.Conn, error) {
+	raw, err := c.dialer.Dial("tcp", addr, c.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("ibp: dial %s: %w", addr, err)
+	}
+	if err := netx.SetOpDeadline(raw, c.clock.Now(), c.opTimeout); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("ibp: set deadline: %w", err)
+	}
+	return wire.NewConn(raw), nil
+}
+
+// applyDeadline refreshes the operation deadline on a pooled connection.
+func (c *Client) applyDeadline(conn *wire.Conn) error {
+	return conn.SetDeadline(timeNowPlus(c.opTimeout))
+}
+
+// withConn runs one protocol exchange on a pooled or fresh connection,
+// retrying once on a fresh dial when a reused connection turns out stale.
+// op must be safe to re-run from scratch (all client exchanges are: they
+// buffer their own output).
+func (c *Client) withConn(addr string, retryable bool, op func(conn *wire.Conn) error) error {
+	conn, reused, err := c.acquire(addr)
+	if err != nil {
+		return err
+	}
+	err = op(conn)
+	if err != nil && reused && retryable && isConnReuseError(err) {
+		conn.Close()
+		fresh, derr := c.dialFresh(addr)
+		if derr != nil {
+			return err
+		}
+		err = op(fresh)
+		c.release(addr, fresh, err)
+		return err
+	}
+	c.release(addr, conn, err)
+	return err
+}
+
+// Allocate requests a byte array of up to maxSize bytes for duration on the
+// depot at addr, returning the capability trio.
+func (c *Client) Allocate(addr string, maxSize int64, duration time.Duration, rel Reliability) (CapSet, error) {
+	if maxSize <= 0 {
+		return CapSet{}, errors.New("ibp: allocation size must be positive")
+	}
+	if !ValidReliability(rel) {
+		return CapSet{}, fmt.Errorf("ibp: bad reliability %q", rel)
+	}
+	var set CapSet
+	err := c.withConn(addr, false, func(conn *wire.Conn) error {
+		err := conn.WriteLine(OpAllocate, wire.Itoa(maxSize), wire.Itoa(int64(duration.Seconds())), string(rel))
+		if err != nil {
+			return err
+		}
+		toks, err := conn.ReadStatus()
+		if err != nil {
+			return err
+		}
+		if len(toks) != 3 {
+			return fmt.Errorf("ibp: allocate: want 3 caps, got %d", len(toks))
+		}
+		for i, dst := range []*Cap{&set.Read, &set.Write, &set.Manage} {
+			cap, err := ParseCap(toks[i])
+			if err != nil {
+				return fmt.Errorf("ibp: allocate: %w", err)
+			}
+			*dst = cap
+		}
+		if set.Read.Type != CapRead || set.Write.Type != CapWrite || set.Manage.Type != CapManage {
+			return errors.New("ibp: allocate: capability types out of order")
+		}
+		return nil
+	})
+	if err != nil {
+		return CapSet{}, err
+	}
+	return set, nil
+}
+
+// Store appends data to the byte array named by the write capability and
+// returns the new total length.
+func (c *Client) Store(w Cap, data []byte) (int64, error) {
+	if w.Type != CapWrite {
+		return 0, fmt.Errorf("ibp: store requires a WRITE capability, got %s", w.Type)
+	}
+	var newLen int64
+	// Store is append-only and therefore NOT idempotent: never retry it
+	// on a stale pooled connection.
+	err := c.withConn(w.Addr, false, func(conn *wire.Conn) error {
+		if err := conn.WriteLine(OpStore, w.Token(), wire.Itoa(int64(len(data)))); err != nil {
+			return err
+		}
+		if err := conn.WriteBlob(data); err != nil {
+			return err
+		}
+		toks, err := conn.ReadStatus()
+		if err != nil {
+			return err
+		}
+		if len(toks) != 2 {
+			return fmt.Errorf("ibp: store: malformed response %v", toks)
+		}
+		newLen, err = wire.ParseInt("length", toks[1])
+		return err
+	})
+	return newLen, err
+}
+
+// Load reads length bytes at offset from the byte array named by the read
+// capability.
+func (c *Client) Load(r Cap, offset, length int64) ([]byte, error) {
+	var buf []byte
+	// Load buffers internally, so a retry on a stale pooled connection is
+	// safe.
+	err := c.load(r, offset, length, true, func(conn *wire.Conn, n int64) error {
+		var err error
+		buf, err = conn.ReadBlob(n)
+		return err
+	})
+	return buf, err
+}
+
+// LoadTo streams length bytes at offset into w, for downloads that should
+// not buffer whole extents in memory.
+func (c *Client) LoadTo(dst io.Writer, r Cap, offset, length int64) (int64, error) {
+	var n int64
+	// LoadTo streams into dst, so a retry could duplicate bytes: never
+	// retry.
+	err := c.load(r, offset, length, false, func(conn *wire.Conn, want int64) error {
+		n = want
+		return conn.CopyBlob(dst, want)
+	})
+	return n, err
+}
+
+func (c *Client) load(r Cap, offset, length int64, retryable bool, consume func(*wire.Conn, int64) error) error {
+	if r.Type != CapRead {
+		return fmt.Errorf("ibp: load requires a READ capability, got %s", r.Type)
+	}
+	if offset < 0 || length < 0 {
+		return fmt.Errorf("ibp: load: negative offset or length")
+	}
+	return c.withConn(r.Addr, retryable, func(conn *wire.Conn) error {
+		if err := conn.WriteLine(OpLoad, r.Token(), wire.Itoa(offset), wire.Itoa(length)); err != nil {
+			return err
+		}
+		toks, err := conn.ReadStatus()
+		if err != nil {
+			return err
+		}
+		if len(toks) != 1 {
+			return fmt.Errorf("ibp: load: malformed response %v", toks)
+		}
+		n, err := wire.ParseInt("length", toks[0])
+		if err != nil {
+			return err
+		}
+		if n != length {
+			return fmt.Errorf("ibp: load: depot returned %d bytes, want %d", n, length)
+		}
+		return consume(conn, n)
+	})
+}
+
+// Probe returns the metadata of the allocation named by the manage
+// capability.
+func (c *Client) Probe(m Cap) (AllocInfo, error) {
+	if m.Type != CapManage {
+		return AllocInfo{}, fmt.Errorf("ibp: probe requires a MANAGE capability, got %s", m.Type)
+	}
+	var info AllocInfo
+	err := c.withConn(m.Addr, true, func(conn *wire.Conn) error {
+		if err := conn.WriteLine(OpProbe, m.Token()); err != nil {
+			return err
+		}
+		toks, err := conn.ReadStatus()
+		if err != nil {
+			return err
+		}
+		if len(toks) != 5 {
+			return fmt.Errorf("ibp: probe: malformed response %v", toks)
+		}
+		if info.MaxSize, err = wire.ParseInt("maxsize", toks[0]); err != nil {
+			return err
+		}
+		if info.Size, err = wire.ParseInt("size", toks[1]); err != nil {
+			return err
+		}
+		exp, err := wire.ParseInt("expires", toks[2])
+		if err != nil {
+			return err
+		}
+		info.Expires = time.Unix(exp, 0).UTC()
+		info.Reliability = Reliability(toks[3])
+		ref, err := wire.ParseInt("refcount", toks[4])
+		if err != nil {
+			return err
+		}
+		info.RefCount = int(ref)
+		return nil
+	})
+	if err != nil {
+		return AllocInfo{}, err
+	}
+	return info, nil
+}
+
+// Extend pushes the allocation's expiration to now+duration (the Refresh
+// tool uses this; paper §2.3). It returns the new expiration.
+func (c *Client) Extend(m Cap, duration time.Duration) (time.Time, error) {
+	if m.Type != CapManage {
+		return time.Time{}, fmt.Errorf("ibp: extend requires a MANAGE capability, got %s", m.Type)
+	}
+	var out time.Time
+	err := c.withConn(m.Addr, true, func(conn *wire.Conn) error {
+		if err := conn.WriteLine(OpExtend, m.Token(), wire.Itoa(int64(duration.Seconds()))); err != nil {
+			return err
+		}
+		toks, err := conn.ReadStatus()
+		if err != nil {
+			return err
+		}
+		if len(toks) != 1 {
+			return fmt.Errorf("ibp: extend: malformed response %v", toks)
+		}
+		exp, err := wire.ParseInt("expires", toks[0])
+		if err != nil {
+			return err
+		}
+		out = time.Unix(exp, 0).UTC()
+		return nil
+	})
+	return out, err
+}
+
+// Delete decrements the allocation's reference count; the depot frees the
+// byte array when it reaches zero. It returns the remaining count.
+func (c *Client) Delete(m Cap) (int, error) {
+	if m.Type != CapManage {
+		return 0, fmt.Errorf("ibp: delete requires a MANAGE capability, got %s", m.Type)
+	}
+	var ref int64
+	// Delete decrements a refcount: not idempotent, never retried.
+	err := c.withConn(m.Addr, false, func(conn *wire.Conn) error {
+		if err := conn.WriteLine(OpDelete, m.Token()); err != nil {
+			return err
+		}
+		toks, err := conn.ReadStatus()
+		if err != nil {
+			return err
+		}
+		if len(toks) != 1 {
+			return fmt.Errorf("ibp: delete: malformed response %v", toks)
+		}
+		ref, err = wire.ParseInt("refcount", toks[0])
+		return err
+	})
+	return int(ref), err
+}
+
+// Copy asks the depot holding src to transfer length bytes at offset
+// directly into the allocation named by dst's WRITE capability — IBP's
+// third-party transfer: the data moves depot-to-depot without passing
+// through this client. It returns the destination's new length.
+func (c *Client) Copy(src Cap, offset, length int64, dst Cap) (int64, error) {
+	if src.Type != CapRead {
+		return 0, fmt.Errorf("ibp: copy requires a READ source capability, got %s", src.Type)
+	}
+	if dst.Type != CapWrite {
+		return 0, fmt.Errorf("ibp: copy requires a WRITE destination capability, got %s", dst.Type)
+	}
+	if offset < 0 || length < 0 {
+		return 0, fmt.Errorf("ibp: copy: negative offset or length")
+	}
+	var newLen int64
+	// Copy appends at the destination: not idempotent, never retried.
+	err := c.withConn(src.Addr, false, func(conn *wire.Conn) error {
+		err := conn.WriteLine(OpCopy, src.Token(), wire.Itoa(offset), wire.Itoa(length), dst.String())
+		if err != nil {
+			return err
+		}
+		toks, err := conn.ReadStatus()
+		if err != nil {
+			return err
+		}
+		if len(toks) != 2 {
+			return fmt.Errorf("ibp: copy: malformed response %v", toks)
+		}
+		newLen, err = wire.ParseInt("length", toks[1])
+		return err
+	})
+	return newLen, err
+}
+
+// MCopy is the multicast form of Copy: one read on the source depot fans
+// out to several destination allocations. It returns per-destination
+// results in order ("ok" entries are the destinations' new lengths;
+// failed destinations carry -1). The call errors only when the source
+// read itself fails.
+func (c *Client) MCopy(src Cap, offset, length int64, dsts []Cap) ([]int64, error) {
+	if src.Type != CapRead {
+		return nil, fmt.Errorf("ibp: mcopy requires a READ source capability, got %s", src.Type)
+	}
+	if len(dsts) == 0 {
+		return nil, fmt.Errorf("ibp: mcopy needs at least one destination")
+	}
+	toks := []string{OpMCopy, src.Token(), wire.Itoa(offset), wire.Itoa(length), wire.Itoa(int64(len(dsts)))}
+	for _, d := range dsts {
+		if d.Type != CapWrite {
+			return nil, fmt.Errorf("ibp: mcopy destination must be WRITE, got %s", d.Type)
+		}
+		toks = append(toks, d.String())
+	}
+	var out []int64
+	err := c.withConn(src.Addr, false, func(conn *wire.Conn) error {
+		if err := conn.WriteLine(toks...); err != nil {
+			return err
+		}
+		res, err := conn.ReadStatus()
+		if err != nil {
+			return err
+		}
+		if len(res) != len(dsts) {
+			return fmt.Errorf("ibp: mcopy: want %d results, got %d", len(dsts), len(res))
+		}
+		out = out[:0]
+		for _, tok := range res {
+			v, err := wire.ParseInt("result", tok)
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// DepotMetrics is the operation-counter snapshot a depot reports via the
+// METRICS verb.
+type DepotMetrics struct {
+	Allocates, Stores, Loads, Probes, Extends, Deletes int64
+	BytesIn, BytesOut                                  int64
+	Errors, Reaped, Connects, Restores, Violations     int64
+}
+
+// Metrics fetches the operation counters of the depot at addr.
+func (c *Client) Metrics(addr string) (DepotMetrics, error) {
+	var m DepotMetrics
+	err := c.withConn(addr, true, func(conn *wire.Conn) error {
+		if err := conn.WriteLine("METRICS"); err != nil {
+			return err
+		}
+		toks, err := conn.ReadStatus()
+		if err != nil {
+			return err
+		}
+		if len(toks) != 13 {
+			return fmt.Errorf("ibp: metrics: malformed response %v", toks)
+		}
+		dst := []*int64{
+			&m.Allocates, &m.Stores, &m.Loads, &m.Probes, &m.Extends, &m.Deletes,
+			&m.BytesIn, &m.BytesOut, &m.Errors, &m.Reaped, &m.Connects,
+			&m.Restores, &m.Violations,
+		}
+		for i, tok := range toks {
+			v, err := wire.ParseInt("counter", tok)
+			if err != nil {
+				return err
+			}
+			*dst[i] = v
+		}
+		return nil
+	})
+	return m, err
+}
+
+// Status asks the depot at addr for its capacity and duration limits.
+func (c *Client) Status(addr string) (DepotStatus, error) {
+	var st DepotStatus
+	err := c.withConn(addr, true, func(conn *wire.Conn) error {
+		if err := conn.WriteLine(OpStatus); err != nil {
+			return err
+		}
+		toks, err := conn.ReadStatus()
+		if err != nil {
+			return err
+		}
+		if len(toks) != 4 {
+			return fmt.Errorf("ibp: status: malformed response %v", toks)
+		}
+		if st.TotalBytes, err = wire.ParseInt("total", toks[0]); err != nil {
+			return err
+		}
+		if st.UsedBytes, err = wire.ParseInt("used", toks[1]); err != nil {
+			return err
+		}
+		maxSec, err := wire.ParseInt("maxduration", toks[2])
+		if err != nil {
+			return err
+		}
+		st.MaxDuration = time.Duration(maxSec) * time.Second
+		n, err := wire.ParseInt("allocations", toks[3])
+		if err != nil {
+			return err
+		}
+		st.Allocations = int(n)
+		return nil
+	})
+	if err != nil {
+		return DepotStatus{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,31 @@
+package ibp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCap hardens the capability parser against hostile input:
+// whatever comes in, it must not panic, and anything it accepts must
+// round-trip exactly.
+func FuzzParseCap(f *testing.F) {
+	key, _ := NewKey()
+	f.Add(MintCap([]byte("s"), "h:1", key, CapRead).String())
+	f.Add("ibp://h:1//READ#")
+	f.Add("ibp://")
+	f.Add("")
+	f.Add("ibp://h:1/" + key + "/MANAGE#zz")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseCap(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseCap(c.String())
+		if err != nil || back != c {
+			t.Fatalf("accepted cap did not round-trip: %q", s)
+		}
+		if strings.ContainsAny(c.String(), " \n\r\t") {
+			t.Fatalf("accepted cap renders with whitespace: %q", s)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package ibp
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// The IBP wire protocol is request/response over a persistent connection,
+// so a client may reuse connections across operations instead of dialing
+// per call (the original library's model, and this client's default).
+// Pooling is opt-in via WithPooling: benchmarks show when the dial round
+// trip matters.
+
+// connPool keeps idle framed connections per depot address.
+type connPool struct {
+	mu      sync.Mutex
+	idle    map[string][]*wire.Conn
+	maxIdle int
+	closed  bool
+}
+
+func newConnPool(maxIdle int) *connPool {
+	return &connPool{idle: make(map[string][]*wire.Conn), maxIdle: maxIdle}
+}
+
+// get returns an idle connection to addr, or nil.
+func (p *connPool) get(addr string) *wire.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conns := p.idle[addr]
+	if len(conns) == 0 {
+		return nil
+	}
+	conn := conns[len(conns)-1]
+	p.idle[addr] = conns[:len(conns)-1]
+	return conn
+}
+
+// put parks a healthy connection for reuse; overflow closes it.
+func (p *connPool) put(addr string, conn *wire.Conn) {
+	p.mu.Lock()
+	if p.closed || len(p.idle[addr]) >= p.maxIdle {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	p.idle[addr] = append(p.idle[addr], conn)
+	p.mu.Unlock()
+}
+
+// closeAll drops every idle connection.
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for addr, conns := range p.idle {
+		for _, c := range conns {
+			c.Close()
+		}
+		delete(p.idle, addr)
+	}
+}
+
+// WithPooling enables connection reuse with up to maxIdle parked
+// connections per depot. Close the client when done to release them.
+func WithPooling(maxIdle int) Option {
+	return func(c *Client) {
+		if maxIdle > 0 {
+			c.pool = newConnPool(maxIdle)
+		}
+	}
+}
+
+// Close releases pooled connections. A client without pooling needs no
+// Close.
+func (c *Client) Close() error {
+	if c.pool != nil {
+		c.pool.closeAll()
+	}
+	return nil
+}
+
+// acquire returns a connection to addr — pooled if available, freshly
+// dialed otherwise — with the operation deadline applied.
+func (c *Client) acquire(addr string) (*wire.Conn, bool, error) {
+	if c.pool != nil {
+		if conn := c.pool.get(addr); conn != nil {
+			if err := c.applyDeadline(conn); err == nil {
+				return conn, true, nil
+			}
+			conn.Close()
+		}
+	}
+	conn, err := c.dialFresh(addr)
+	return conn, false, err
+}
+
+// release parks conn for reuse after a clean exchange, or closes it after
+// any error (the protocol state is then unknown).
+func (c *Client) release(addr string, conn *wire.Conn, err error) {
+	if err != nil || c.pool == nil {
+		conn.Close()
+		return
+	}
+	c.pool.put(addr, conn)
+}
+
+// isConnReuseError reports whether err plausibly came from a stale pooled
+// connection (peer closed it while idle) and the operation is worth one
+// retry on a fresh dial. Remote protocol errors are never retried.
+func isConnReuseError(err error) bool {
+	if err == nil || wire.IsRemoteAny(err) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed)
+}
+
+// timeNowPlus is the wall-clock deadline helper for pooled connections
+// (their virtual deadline, if any, was set at dial time by netx).
+func timeNowPlus(d time.Duration) time.Time {
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}

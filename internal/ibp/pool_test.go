@@ -1,0 +1,94 @@
+package ibp
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestConnPoolGetPut(t *testing.T) {
+	p := newConnPool(2)
+	if p.get("a:1") != nil {
+		t.Fatal("empty pool should return nil")
+	}
+	c1, c2, c3 := fakeConn(t), fakeConn(t), fakeConn(t)
+	p.put("a:1", c1)
+	p.put("a:1", c2)
+	p.put("a:1", c3) // overflow: closed, not parked
+	if got := p.get("a:1"); got != c2 {
+		t.Fatal("pool should be LIFO")
+	}
+	if got := p.get("a:1"); got != c1 {
+		t.Fatal("second get should return first conn")
+	}
+	if p.get("a:1") != nil {
+		t.Fatal("pool should be drained")
+	}
+	// Different addresses are separate.
+	p.put("b:1", fakeConn(t))
+	if p.get("a:1") != nil {
+		t.Fatal("addresses must not share pools")
+	}
+}
+
+func TestConnPoolCloseAll(t *testing.T) {
+	p := newConnPool(4)
+	p.put("a:1", fakeConn(t))
+	p.closeAll()
+	if p.get("a:1") != nil {
+		t.Fatal("closed pool should be empty")
+	}
+	// Parking after close just closes the conn.
+	p.put("a:1", fakeConn(t))
+	if p.get("a:1") != nil {
+		t.Fatal("closed pool must not park conns")
+	}
+}
+
+func fakeConn(t *testing.T) *wire.Conn {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return wire.NewConn(a)
+}
+
+func TestIsConnReuseError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{io.EOF, true},
+		{io.ErrUnexpectedEOF, true},
+		{net.ErrClosed, true},
+		{&net.OpError{Op: "read", Err: errors.New("reset")}, true},
+		{&wire.RemoteError{Code: wire.CodeNotFound}, false},
+		{errors.New("some app error"), false},
+	}
+	for _, c := range cases {
+		if got := isConnReuseError(c.err); got != c.want {
+			t.Fatalf("isConnReuseError(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestTimeNowPlus(t *testing.T) {
+	if !timeNowPlus(0).IsZero() {
+		t.Fatal("zero timeout should clear the deadline")
+	}
+	d := timeNowPlus(time.Minute)
+	if d.Before(time.Now()) {
+		t.Fatal("deadline should be in the future")
+	}
+}
+
+func TestClientCloseWithoutPoolIsNoop(t *testing.T) {
+	c := NewClient()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

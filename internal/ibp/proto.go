@@ -1,0 +1,54 @@
+package ibp
+
+import "time"
+
+// Protocol operation names (request line verbs).
+const (
+	OpAllocate = "ALLOCATE"
+	OpStore    = "STORE"
+	OpLoad     = "LOAD"
+	OpProbe    = "PROBE"
+	OpExtend   = "EXTEND"
+	OpDelete   = "DELETE"
+	OpStatus   = "STATUS"
+	OpCopy     = "COPY"
+	OpMCopy    = "MCOPY"
+	OpQuit     = "QUIT"
+)
+
+// Reliability expresses how durable an allocation should be (paper §2.1
+// exposes service attributes of the underlying storage rather than hiding
+// them).
+type Reliability string
+
+// Reliability classes.
+const (
+	// Hard allocations survive until their time limit expires.
+	Hard Reliability = "HARD"
+	// Soft allocations may be reclaimed early under space pressure.
+	Soft Reliability = "SOFT"
+)
+
+// ValidReliability reports whether r names a known reliability class.
+func ValidReliability(r Reliability) bool { return r == Hard || r == Soft }
+
+// AllocInfo is the metadata returned by PROBE.
+type AllocInfo struct {
+	MaxSize     int64       // allocation capacity in bytes
+	Size        int64       // bytes written so far (append pointer)
+	Expires     time.Time   // absolute expiration
+	Reliability Reliability // HARD or SOFT
+	RefCount    int         // manage DELETE decrements; 0 frees
+}
+
+// DepotStatus is the response to STATUS: the resources a depot exposes to
+// higher layers (capacity and duration limits).
+type DepotStatus struct {
+	TotalBytes  int64         // configured capacity
+	UsedBytes   int64         // bytes currently committed to live allocations
+	MaxDuration time.Duration // longest duration the depot will grant
+	Allocations int           // live allocation count
+}
+
+// AvailableBytes reports the capacity not yet committed.
+func (s DepotStatus) AvailableBytes() int64 { return s.TotalBytes - s.UsedBytes }

@@ -1,0 +1,142 @@
+package lbone
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netx"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// Client talks to an L-Bone server. Safe for concurrent use; each call
+// opens its own connection.
+type Client struct {
+	addr        string
+	dialer      netx.Dialer
+	clock       vclock.Clock
+	dialTimeout time.Duration
+	opTimeout   time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithDialer sets the dialer (default: system network).
+func WithDialer(d netx.Dialer) ClientOption { return func(c *Client) { c.dialer = d } }
+
+// WithClock sets the deadline clock (default: real time).
+func WithClock(ck vclock.Clock) ClientOption { return func(c *Client) { c.clock = ck } }
+
+// WithTimeouts sets dial and per-operation timeouts.
+func WithTimeouts(dial, op time.Duration) ClientOption {
+	return func(c *Client) { c.dialTimeout, c.opTimeout = dial, op }
+}
+
+// NewClient builds a client for the L-Bone server at addr.
+func NewClient(addr string, opts ...ClientOption) *Client {
+	c := &Client{
+		addr:        addr,
+		dialer:      netx.System(),
+		clock:       vclock.Real(),
+		dialTimeout: 5 * time.Second,
+		opTimeout:   15 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *Client) connect() (*wire.Conn, error) {
+	raw, err := c.dialer.Dial("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("lbone: dial %s: %w", c.addr, err)
+	}
+	if err := netx.SetOpDeadline(raw, c.clock.Now(), c.opTimeout); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return wire.NewConn(raw), nil
+}
+
+// Register announces a depot to the L-Bone.
+func (c *Client) Register(d DepotInfo) error {
+	conn, err := c.connect()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	err = conn.WriteLine(opRegister, d.Addr, d.Name, d.Site, d.Loc.String(),
+		wire.Itoa(d.Capacity), wire.Itoa(int64(d.MaxDuration.Seconds())))
+	if err != nil {
+		return err
+	}
+	_, err = conn.ReadStatus()
+	return err
+}
+
+// Heartbeat refreshes a depot's liveness window.
+func (c *Client) Heartbeat(addr string) error {
+	conn, err := c.connect()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.WriteLine(opHeartbeat, addr); err != nil {
+		return err
+	}
+	_, err = conn.ReadStatus()
+	return err
+}
+
+// Deregister removes a depot from the registry.
+func (c *Client) Deregister(addr string) error {
+	conn, err := c.connect()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.WriteLine(opDeregister, addr); err != nil {
+		return err
+	}
+	_, err = conn.ReadStatus()
+	return err
+}
+
+// Query returns depots matching req, proximity-ordered when req.Near is
+// set.
+func (c *Client) Query(req Requirements) ([]DepotInfo, error) {
+	conn, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	near := "-"
+	if req.Near != nil {
+		near = req.Near.String()
+	}
+	err = conn.WriteLine(opQuery,
+		wire.Itoa(req.MinCapacity),
+		wire.Itoa(int64(req.MinDuration.Seconds())),
+		near,
+		wire.Itoa(int64(req.Max)))
+	if err != nil {
+		return nil, err
+	}
+	toks, err := conn.ReadStatus()
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) != 1 {
+		return nil, errShortResponse
+	}
+	n, err := wire.ParseInt("count", toks[0])
+	if err != nil {
+		return nil, err
+	}
+	return readDepotLines(conn, n)
+}
+
+// List returns every live depot.
+func (c *Client) List() ([]DepotInfo, error) { return c.Query(Requirements{}) }

@@ -1,0 +1,121 @@
+// Package lbone implements the Logistical Backbone — the resource
+// discovery layer of the Network Storage Stack (paper §2.2).
+//
+// IBP depots register themselves with the L-Bone; clients query it for
+// depots satisfying capacity and duration requirements, ordered by
+// proximity to a location (a site, city, or coordinate). The L-Bone only
+// answers "which depots exist and where"; live performance data comes from
+// the NWS layer.
+package lbone
+
+import (
+	"time"
+
+	"repro/internal/geo"
+)
+
+// DepotInfo is one registry entry.
+type DepotInfo struct {
+	Addr        string        // host:port of the depot
+	Name        string        // human-readable name, e.g. "UTK1"
+	Site        string        // site name, e.g. "UTK" (resolves via geo.LookupSite)
+	Loc         geo.Point     // coordinates for proximity resolution
+	Capacity    int64         // total bytes the depot serves
+	MaxDuration time.Duration // longest allocation the depot grants
+	LastSeen    time.Time     // last registration or heartbeat
+}
+
+// Location implements geo.Ref so proximity sorting works on entries.
+func (d DepotInfo) Location() geo.Point { return d.Loc }
+
+// Requirements filter and order a depot query (paper §2.2: "minimum
+// storage capacity and duration requirements, and basic proximity
+// requirements").
+type Requirements struct {
+	MinCapacity int64         // minimum total capacity in bytes (0 = any)
+	MinDuration time.Duration // minimum allocation duration (0 = any)
+	Near        *geo.Point    // order results by distance from here
+	Max         int           // cap on result count (0 = all)
+}
+
+// Registry is the in-memory depot table shared by the server and by
+// in-process uses (the experiment harness embeds one directly).
+type Registry struct {
+	ttl     time.Duration
+	now     func() time.Time
+	entries map[string]DepotInfo
+}
+
+// NewRegistry creates a registry. Depots that have not re-registered or
+// heartbeated within ttl are dropped from query results; ttl <= 0 disables
+// liveness expiry. now supplies the registry's clock.
+func NewRegistry(ttl time.Duration, now func() time.Time) *Registry {
+	if now == nil {
+		now = time.Now
+	}
+	return &Registry{ttl: ttl, now: now, entries: make(map[string]DepotInfo)}
+}
+
+// Register inserts or refreshes a depot entry.
+func (r *Registry) Register(d DepotInfo) {
+	d.LastSeen = r.now()
+	r.entries[d.Addr] = d
+}
+
+// Heartbeat refreshes liveness for addr; it reports whether the depot was
+// registered.
+func (r *Registry) Heartbeat(addr string) bool {
+	d, ok := r.entries[addr]
+	if !ok {
+		return false
+	}
+	d.LastSeen = r.now()
+	r.entries[addr] = d
+	return true
+}
+
+// Deregister removes addr.
+func (r *Registry) Deregister(addr string) { delete(r.entries, addr) }
+
+// alive reports whether the entry is within its liveness window.
+func (r *Registry) alive(d DepotInfo) bool {
+	return r.ttl <= 0 || r.now().Sub(d.LastSeen) <= r.ttl
+}
+
+// Query returns live depots matching req, ordered by proximity when
+// req.Near is set (otherwise by name for determinism).
+func (r *Registry) Query(req Requirements) []DepotInfo {
+	var out []DepotInfo
+	for _, d := range r.entries {
+		if !r.alive(d) {
+			continue
+		}
+		if req.MinCapacity > 0 && d.Capacity < req.MinCapacity {
+			continue
+		}
+		if req.MinDuration > 0 && d.MaxDuration < req.MinDuration {
+			continue
+		}
+		out = append(out, d)
+	}
+	if req.Near != nil {
+		geo.SortByDistance(*req.Near, out)
+	} else {
+		sortByName(out)
+	}
+	if req.Max > 0 && len(out) > req.Max {
+		out = out[:req.Max]
+	}
+	return out
+}
+
+// Len reports the number of registered depots (live or not).
+func (r *Registry) Len() int { return len(r.entries) }
+
+func sortByName(ds []DepotInfo) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].Name < ds[j-1].Name; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

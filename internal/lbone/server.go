@@ -1,0 +1,307 @@
+package lbone
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ibp"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// Protocol verbs.
+const (
+	opRegister   = "REGISTER"
+	opHeartbeat  = "HEARTBEAT"
+	opDeregister = "DEREGISTER"
+	opQuery      = "QUERY"
+	opList       = "LIST"
+	opQuit       = "QUIT"
+)
+
+// ServerConfig parameterizes an L-Bone server.
+type ServerConfig struct {
+	// TTL is the liveness window for registered depots (0 = never expire).
+	TTL time.Duration
+	// Clock drives liveness (default: real time).
+	Clock vclock.Clock
+	// Logger receives per-connection errors (default: discard).
+	Logger *log.Logger
+}
+
+// Server is a running L-Bone registry daemon.
+type Server struct {
+	mu       sync.Mutex
+	reg      *Registry
+	ln       net.Listener
+	cfg      ServerConfig
+	wg       sync.WaitGroup
+	shutdown chan struct{}
+	closed   bool
+}
+
+// ServeRegistry starts an L-Bone server on addr.
+func ServeRegistry(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("lbone: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		reg:      NewRegistry(cfg.TTL, cfg.Clock.Now),
+		ln:       ln,
+		cfg:      cfg,
+		shutdown: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// StartPoller launches a capacity poller over this server's registry,
+// sharing the server's lock. Stop it before (or after) closing the server.
+func (s *Server) StartPoller(client *ibp.Client, interval time.Duration) *Poller {
+	p := NewPoller(s.reg, &s.mu, client, s.cfg.Clock, interval)
+	go p.Run()
+	return p
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.shutdown)
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.shutdown:
+			default:
+				s.logf("lbone: accept: %v", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					s.logf("lbone: connection panic: %v", r)
+				}
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(raw net.Conn) {
+	conn := wire.NewConn(raw)
+	defer conn.Close()
+	for {
+		toks, err := conn.ReadLine()
+		if err != nil {
+			if err != io.EOF {
+				s.logf("lbone: read: %v", err)
+			}
+			return
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		if !s.dispatch(conn, toks[0], toks[1:]) {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(conn *wire.Conn, op string, args []string) bool {
+	var err error
+	switch op {
+	case opRegister:
+		err = s.handleRegister(conn, args)
+	case opHeartbeat:
+		err = s.handleHeartbeat(conn, args)
+	case opDeregister:
+		err = s.handleDeregister(conn, args)
+	case opQuery:
+		err = s.handleQuery(conn, args)
+	case opList:
+		err = s.handleQuery(conn, []string{"0", "0", "-", "0"})
+	case opQuit:
+		return false
+	default:
+		err = conn.WriteErr(wire.CodeUnsupported, "unknown operation %s", op)
+	}
+	if err != nil {
+		s.logf("lbone: %s: %v", op, err)
+		return false
+	}
+	return true
+}
+
+// REGISTER <addr> <name> <site> <lat,lon> <capacity> <maxDurSec>
+func (s *Server) handleRegister(conn *wire.Conn, args []string) error {
+	if len(args) != 6 {
+		return conn.WriteErr(wire.CodeBadRequest, "REGISTER wants 6 fields, got %d", len(args))
+	}
+	loc, err := geo.ParsePoint(args[3])
+	if err != nil {
+		return conn.WriteErr(wire.CodeBadRequest, "bad location %q", args[3])
+	}
+	capacity, err := wire.ParseInt("capacity", args[4])
+	if err != nil || capacity < 0 {
+		return conn.WriteErr(wire.CodeBadRequest, "bad capacity %q", args[4])
+	}
+	durSec, err := wire.ParseInt("maxduration", args[5])
+	if err != nil || durSec < 0 {
+		return conn.WriteErr(wire.CodeBadRequest, "bad duration %q", args[5])
+	}
+	d := DepotInfo{
+		Addr:        args[0],
+		Name:        args[1],
+		Site:        args[2],
+		Loc:         loc,
+		Capacity:    capacity,
+		MaxDuration: time.Duration(durSec) * time.Second,
+	}
+	s.mu.Lock()
+	s.reg.Register(d)
+	s.mu.Unlock()
+	return conn.WriteOK()
+}
+
+func (s *Server) handleHeartbeat(conn *wire.Conn, args []string) error {
+	if len(args) != 1 {
+		return conn.WriteErr(wire.CodeBadRequest, "HEARTBEAT wants <addr>")
+	}
+	s.mu.Lock()
+	ok := s.reg.Heartbeat(args[0])
+	s.mu.Unlock()
+	if !ok {
+		return conn.WriteErr(wire.CodeNotFound, "depot %s not registered", args[0])
+	}
+	return conn.WriteOK()
+}
+
+func (s *Server) handleDeregister(conn *wire.Conn, args []string) error {
+	if len(args) != 1 {
+		return conn.WriteErr(wire.CodeBadRequest, "DEREGISTER wants <addr>")
+	}
+	s.mu.Lock()
+	s.reg.Deregister(args[0])
+	s.mu.Unlock()
+	return conn.WriteOK()
+}
+
+// QUERY <minCapacity> <minDurSec> <lat,lon|-> <max>
+func (s *Server) handleQuery(conn *wire.Conn, args []string) error {
+	if len(args) != 4 {
+		return conn.WriteErr(wire.CodeBadRequest, "QUERY wants 4 fields, got %d", len(args))
+	}
+	var req Requirements
+	minCap, err := wire.ParseInt("mincapacity", args[0])
+	if err != nil {
+		return conn.WriteErr(wire.CodeBadRequest, "bad capacity %q", args[0])
+	}
+	req.MinCapacity = minCap
+	durSec, err := wire.ParseInt("minduration", args[1])
+	if err != nil {
+		return conn.WriteErr(wire.CodeBadRequest, "bad duration %q", args[1])
+	}
+	req.MinDuration = time.Duration(durSec) * time.Second
+	if args[2] != "-" {
+		p, err := geo.ParsePoint(args[2])
+		if err != nil {
+			return conn.WriteErr(wire.CodeBadRequest, "bad location %q", args[2])
+		}
+		req.Near = &p
+	}
+	maxN, err := wire.ParseInt("max", args[3])
+	if err != nil || maxN < 0 {
+		return conn.WriteErr(wire.CodeBadRequest, "bad max %q", args[3])
+	}
+	req.Max = int(maxN)
+
+	s.mu.Lock()
+	res := s.reg.Query(req)
+	s.mu.Unlock()
+
+	if err := conn.WriteOK(wire.Itoa(int64(len(res)))); err != nil {
+		return err
+	}
+	for _, d := range res {
+		err := conn.WriteLine("DEPOT", d.Addr, d.Name, d.Site, d.Loc.String(),
+			wire.Itoa(d.Capacity), wire.Itoa(int64(d.MaxDuration.Seconds())))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readDepotLines parses the n DEPOT lines of a query response; shared with
+// the client.
+func readDepotLines(conn *wire.Conn, n int64) ([]DepotInfo, error) {
+	out := make([]DepotInfo, 0, n)
+	for i := int64(0); i < n; i++ {
+		toks, err := conn.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		if len(toks) != 7 || toks[0] != "DEPOT" {
+			return nil, fmt.Errorf("lbone: malformed depot line %v", toks)
+		}
+		loc, err := geo.ParsePoint(toks[4])
+		if err != nil {
+			return nil, err
+		}
+		capacity, err := wire.ParseInt("capacity", toks[5])
+		if err != nil {
+			return nil, err
+		}
+		durSec, err := wire.ParseInt("maxduration", toks[6])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DepotInfo{
+			Addr:        toks[1],
+			Name:        toks[2],
+			Site:        toks[3],
+			Loc:         loc,
+			Capacity:    capacity,
+			MaxDuration: time.Duration(durSec) * time.Second,
+		})
+	}
+	return out, nil
+}
+
+var errShortResponse = errors.New("lbone: short response")

@@ -1,0 +1,307 @@
+// Package lfs implements a minimal Logistical File System — the top layer
+// of the Network Storage Stack diagram (paper Figure 1), which the paper
+// leaves as "future functionality to be built when we have more
+// understanding about the middle layers".
+//
+// The design follows the stack's own idiom: a directory is a mapping from
+// names to exNodes, and the directory itself serializes to XML and is
+// stored in IBP through the Logistical Tools. A single root exNode
+// therefore bootstraps an entire namespace: fetch it, decode the
+// directory, resolve a path by walking nested directory exNodes, and
+// download the file at the leaf. Every object in the tree enjoys the same
+// striping, replication, coding and refresh machinery as any other exNode.
+package lfs
+
+import (
+	"encoding/base64"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exnode"
+)
+
+// EntryKind distinguishes files from subdirectories.
+type EntryKind string
+
+// Entry kinds.
+const (
+	KindFile EntryKind = "file"
+	KindDir  EntryKind = "dir"
+)
+
+// Entry is one name in a directory.
+type Entry struct {
+	Name    string
+	Kind    EntryKind
+	ExNode  *exnode.ExNode // the file's (or subdirectory blob's) exNode
+	ModTime time.Time
+}
+
+// Dir is an in-memory directory.
+type Dir struct {
+	entries map[string]*Entry
+}
+
+// NewDir returns an empty directory.
+func NewDir() *Dir { return &Dir{entries: map[string]*Entry{}} }
+
+// ErrBadName rejects names that would break path resolution.
+var ErrBadName = errors.New("lfs: names must be non-empty and must not contain '/'")
+
+// Put inserts or replaces an entry.
+func (d *Dir) Put(name string, kind EntryKind, x *exnode.ExNode, mod time.Time) error {
+	if name == "" || strings.Contains(name, "/") {
+		return ErrBadName
+	}
+	// Control characters cannot survive XML serialization.
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return ErrBadName
+		}
+	}
+	if kind != KindFile && kind != KindDir {
+		return fmt.Errorf("lfs: bad entry kind %q", kind)
+	}
+	d.entries[name] = &Entry{Name: name, Kind: kind, ExNode: x, ModTime: mod}
+	return nil
+}
+
+// Get looks a name up.
+func (d *Dir) Get(name string) (*Entry, bool) {
+	e, ok := d.entries[name]
+	return e, ok
+}
+
+// Remove deletes a name, reporting whether it existed.
+func (d *Dir) Remove(name string) bool {
+	if _, ok := d.entries[name]; !ok {
+		return false
+	}
+	delete(d.entries, name)
+	return true
+}
+
+// Names lists entries in sorted order.
+func (d *Dir) Names() []string {
+	out := make([]string, 0, len(d.entries))
+	for n := range d.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the entry count.
+func (d *Dir) Len() int { return len(d.entries) }
+
+// ---- serialization ----
+
+type xmlDir struct {
+	XMLName xml.Name   `xml:"lfsdir"`
+	Version int        `xml:"version,attr"`
+	Entries []xmlEntry `xml:"entry"`
+}
+
+type xmlEntry struct {
+	Name    string `xml:"name,attr"`
+	Kind    string `xml:"kind,attr"`
+	ModTime string `xml:"modtime,attr,omitempty"`
+	// The entry's exNode document, base64-encoded so the XML nests safely.
+	ExNode string `xml:",chardata"`
+}
+
+// Marshal serializes the directory.
+func (d *Dir) Marshal() ([]byte, error) {
+	doc := xmlDir{Version: 1}
+	for _, name := range d.Names() {
+		e := d.entries[name]
+		blob, err := exnode.Marshal(e.ExNode)
+		if err != nil {
+			return nil, fmt.Errorf("lfs: marshal entry %q: %w", name, err)
+		}
+		xe := xmlEntry{
+			Name:   e.Name,
+			Kind:   string(e.Kind),
+			ExNode: base64.StdEncoding.EncodeToString(blob),
+		}
+		if !e.ModTime.IsZero() {
+			xe.ModTime = e.ModTime.UTC().Format(time.RFC3339)
+		}
+		doc.Entries = append(doc.Entries, xe)
+	}
+	return xml.MarshalIndent(doc, "", "  ")
+}
+
+// UnmarshalDir parses a serialized directory.
+func UnmarshalDir(data []byte) (*Dir, error) {
+	var doc xmlDir
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("lfs: unmarshal: %w", err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("lfs: unsupported directory version %d", doc.Version)
+	}
+	d := NewDir()
+	for _, xe := range doc.Entries {
+		blob, err := base64.StdEncoding.DecodeString(strings.TrimSpace(xe.ExNode))
+		if err != nil {
+			return nil, fmt.Errorf("lfs: entry %q: %w", xe.Name, err)
+		}
+		x, err := exnode.Unmarshal(blob)
+		if err != nil {
+			return nil, fmt.Errorf("lfs: entry %q: %w", xe.Name, err)
+		}
+		var mod time.Time
+		if xe.ModTime != "" {
+			if mod, err = time.Parse(time.RFC3339, xe.ModTime); err != nil {
+				return nil, fmt.Errorf("lfs: entry %q: bad modtime: %w", xe.Name, err)
+			}
+		}
+		if err := d.Put(xe.Name, EntryKind(xe.Kind), x, mod); err != nil {
+			return nil, fmt.Errorf("lfs: entry %q: %w", xe.Name, err)
+		}
+	}
+	return d, nil
+}
+
+// ---- the filesystem driver ----
+
+// FS binds directories to network storage through the Logistical Tools.
+type FS struct {
+	Tools *core.Tools
+	// Upload parameterizes how file contents and directory blobs are
+	// stored (replication, duration, checksums…).
+	Upload core.UploadOptions
+	// Download parameterizes retrieval.
+	Download core.DownloadOptions
+}
+
+// now reads the tools' clock, defaulting to real time.
+func (f *FS) now() time.Time {
+	if f.Tools != nil && f.Tools.Clock != nil {
+		return f.Tools.Clock.Now()
+	}
+	return time.Now()
+}
+
+// WriteFile uploads data and records it in dir under name.
+func (f *FS) WriteFile(dir *Dir, name string, data []byte) (*exnode.ExNode, error) {
+	x, err := f.Tools.Upload(name, data, f.Upload)
+	if err != nil {
+		return nil, fmt.Errorf("lfs: write %q: %w", name, err)
+	}
+	if err := dir.Put(name, KindFile, x, f.now()); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// ReadFile resolves name in dir and downloads its contents.
+func (f *FS) ReadFile(dir *Dir, name string) ([]byte, error) {
+	e, ok := dir.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("lfs: %q: %w", name, ErrNotExist)
+	}
+	if e.Kind != KindFile {
+		return nil, fmt.Errorf("lfs: %q is a directory", name)
+	}
+	data, _, err := f.Tools.Download(e.ExNode, f.Download)
+	return data, err
+}
+
+// ErrNotExist is returned when a path component is missing.
+var ErrNotExist = errors.New("no such file or directory")
+
+// SaveDir uploads the directory blob itself and returns its exNode — the
+// handle that makes the namespace durable and shareable.
+func (f *FS) SaveDir(dir *Dir, name string) (*exnode.ExNode, error) {
+	blob, err := dir.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	x, err := f.Tools.Upload(name, blob, f.Upload)
+	if err != nil {
+		return nil, fmt.Errorf("lfs: save dir %q: %w", name, err)
+	}
+	return x, nil
+}
+
+// LoadDir fetches and decodes a directory blob from its exNode.
+func (f *FS) LoadDir(x *exnode.ExNode) (*Dir, error) {
+	blob, _, err := f.Tools.Download(x, f.Download)
+	if err != nil {
+		return nil, fmt.Errorf("lfs: load dir: %w", err)
+	}
+	return UnmarshalDir(blob)
+}
+
+// Mkdir creates an empty subdirectory entry under dir: the child is saved
+// to the network and registered by name. It returns the child.
+func (f *FS) Mkdir(dir *Dir, name string) (*Dir, error) {
+	child := NewDir()
+	x, err := f.SaveDir(child, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := dir.Put(name, KindDir, x, f.now()); err != nil {
+		return nil, err
+	}
+	return child, nil
+}
+
+// SyncDir re-saves a modified subdirectory and updates its entry in the
+// parent. Directory blobs are immutable allocations, so a sync uploads a
+// fresh blob; the old one ages out by expiration.
+func (f *FS) SyncDir(parent *Dir, name string, child *Dir) error {
+	x, err := f.SaveDir(child, name)
+	if err != nil {
+		return err
+	}
+	return parent.Put(name, KindDir, x, f.now())
+}
+
+// Resolve walks a slash-separated path from root, loading intermediate
+// directory blobs from the network, and returns the leaf entry.
+func (f *FS) Resolve(root *Dir, path string) (*Entry, error) {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if len(parts) == 1 && parts[0] == "" {
+		return nil, fmt.Errorf("lfs: empty path: %w", ErrNotExist)
+	}
+	dir := root
+	for i, part := range parts {
+		e, ok := dir.Get(part)
+		if !ok {
+			return nil, fmt.Errorf("lfs: %q: %w", strings.Join(parts[:i+1], "/"), ErrNotExist)
+		}
+		if i == len(parts)-1 {
+			return e, nil
+		}
+		if e.Kind != KindDir {
+			return nil, fmt.Errorf("lfs: %q is not a directory", strings.Join(parts[:i+1], "/"))
+		}
+		var err error
+		dir, err = f.LoadDir(e.ExNode)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nil, ErrNotExist // unreachable
+}
+
+// ReadPath resolves a path and downloads the file at its leaf.
+func (f *FS) ReadPath(root *Dir, path string) ([]byte, error) {
+	e, err := f.Resolve(root, path)
+	if err != nil {
+		return nil, err
+	}
+	if e.Kind != KindFile {
+		return nil, fmt.Errorf("lfs: %q is a directory", path)
+	}
+	data, _, err := f.Tools.Download(e.ExNode, f.Download)
+	return data, err
+}

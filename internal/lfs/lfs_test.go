@@ -1,0 +1,285 @@
+package lfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/depot"
+	"repro/internal/exnode"
+	"repro/internal/geo"
+	"repro/internal/ibp"
+	"repro/internal/lbone"
+	"repro/internal/vclock"
+)
+
+// newFS spins up depots and a filesystem over them.
+func newFS(t *testing.T, depots int) *FS {
+	t.Helper()
+	clk := vclock.NewVirtual(time.Date(2002, 1, 11, 0, 0, 0, 0, time.UTC))
+	reg := lbone.NewRegistry(0, clk.Now)
+	for i := 0; i < depots; i++ {
+		d, err := depot.Serve("127.0.0.1:0", depot.Config{
+			Secret:   []byte(fmt.Sprintf("lfs-%d", i)),
+			Capacity: 64 << 20,
+			Clock:    clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		reg.Register(lbone.DepotInfo{
+			Addr: d.Addr(), Name: fmt.Sprintf("D%d", i), Site: "UTK",
+			Loc: geo.UTK.Loc, Capacity: 64 << 20, MaxDuration: 240 * time.Hour,
+		})
+	}
+	return &FS{
+		Tools: &core.Tools{
+			IBP:   ibp.NewClient(ibp.WithClock(clk)),
+			LBone: core.RegistrySource{Reg: reg},
+			Clock: clk,
+			Site:  "UTK",
+			Loc:   geo.UTK.Loc,
+		},
+		Upload: core.UploadOptions{Replicas: 1, Duration: 48 * time.Hour, Checksum: true},
+	}
+}
+
+func TestDirBasics(t *testing.T) {
+	d := NewDir()
+	if d.Len() != 0 || len(d.Names()) != 0 {
+		t.Fatal("fresh dir not empty")
+	}
+	x := exnode.New("f", 0)
+	if err := d.Put("file.txt", KindFile, x, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("bad/name", KindFile, x, time.Time{}); !errors.Is(err, ErrBadName) {
+		t.Fatalf("slash in name = %v", err)
+	}
+	if err := d.Put("", KindFile, x, time.Time{}); !errors.Is(err, ErrBadName) {
+		t.Fatalf("empty name = %v", err)
+	}
+	if err := d.Put("x", EntryKind("weird"), x, time.Time{}); err == nil {
+		t.Fatal("bad kind should fail")
+	}
+	e, ok := d.Get("file.txt")
+	if !ok || e.Kind != KindFile {
+		t.Fatalf("get = %+v, %v", e, ok)
+	}
+	if !d.Remove("file.txt") || d.Remove("file.txt") {
+		t.Fatal("remove semantics wrong")
+	}
+}
+
+func TestDirNamesSorted(t *testing.T) {
+	d := NewDir()
+	x := exnode.New("f", 0)
+	for _, n := range []string{"zebra", "apple", "mango"} {
+		if err := d.Put(n, KindFile, x, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := d.Names()
+	if names[0] != "apple" || names[1] != "mango" || names[2] != "zebra" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	fs := newFS(t, 2)
+	dir := NewDir()
+	data := bytes.Repeat([]byte("hello lfs "), 2000)
+	if _, err := fs.WriteFile(dir, "greeting.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(dir, "greeting.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read mismatch")
+	}
+	if _, err := fs.ReadFile(dir, "missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing file = %v", err)
+	}
+}
+
+func TestDirMarshalRoundTrip(t *testing.T) {
+	fs := newFS(t, 2)
+	dir := NewDir()
+	if _, err := fs.WriteFile(dir, "a.dat", []byte("aaa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteFile(dir, "b.dat", []byte("bbb")); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := dir.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalDir(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("entries = %d", back.Len())
+	}
+	// The decoded exNodes still download.
+	got, err := fs.ReadFile(back, "a.dat")
+	if err != nil || string(got) != "aaa" {
+		t.Fatalf("read after round trip: %q, %v", got, err)
+	}
+	// ModTime survives.
+	e, _ := back.Get("a.dat")
+	if e.ModTime.IsZero() {
+		t.Fatal("modtime lost")
+	}
+}
+
+func TestUnmarshalDirErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"<lfsdir version=\"9\"></lfsdir>",
+		"<lfsdir version=\"1\"><entry name=\"x\" kind=\"file\">!!notb64</entry></lfsdir>",
+		"<lfsdir version=\"1\"><entry name=\"x\" kind=\"file\">aGVsbG8=</entry></lfsdir>", // not an exnode
+	} {
+		if _, err := UnmarshalDir([]byte(bad)); err == nil {
+			t.Fatalf("UnmarshalDir(%q) should fail", bad)
+		}
+	}
+}
+
+func TestNamespacePersistsThroughRoot(t *testing.T) {
+	// Build a namespace, save the root, then reconstruct everything from
+	// the root exNode alone (a fresh FS with the same depots).
+	fs := newFS(t, 3)
+	root := NewDir()
+	docs, err := fs.Mkdir(root, "docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteFile(docs, "paper.txt", []byte("fault tolerance")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(root, "docs", docs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteFile(root, "README", []byte("top level")); err != nil {
+		t.Fatal(err)
+	}
+	rootX, err := fs.SaveDir(root, "rootdir")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload the namespace from the root exNode.
+	loaded, err := fs.LoadDir(rootX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadPath(loaded, "docs/paper.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fault tolerance" {
+		t.Fatalf("read = %q", got)
+	}
+	got, err = fs.ReadPath(loaded, "README")
+	if err != nil || string(got) != "top level" {
+		t.Fatalf("read README = %q, %v", got, err)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	fs := newFS(t, 2)
+	root := NewDir()
+	if _, err := fs.WriteFile(root, "plain", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Resolve(root, ""); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("empty path = %v", err)
+	}
+	if _, err := fs.Resolve(root, "nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing leaf = %v", err)
+	}
+	if _, err := fs.ReadPath(root, "plain/deeper"); err == nil {
+		t.Fatal("descending into a file should fail")
+	}
+	docs, err := fs.Mkdir(root, "docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = docs
+	if _, err := fs.ReadPath(root, "docs"); err == nil {
+		t.Fatal("reading a directory as a file should fail")
+	}
+}
+
+func TestDirMarshalPropertyNamesSurvive(t *testing.T) {
+	key, err := ibp.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := ibp.MintCap([]byte("s"), "h:1", key, ibp.CapRead)
+	i := 0
+	f := func(rawNames []string) bool {
+		i++
+		d := NewDir()
+		want := map[string]bool{}
+		for _, rn := range rawNames {
+			name := sanitize(rn)
+			if name == "" {
+				continue
+			}
+			x := exnode.New(name, 4)
+			x.Add(&exnode.Mapping{Offset: 0, Length: 4, Read: read})
+			if err := d.Put(name, KindFile, x, time.Time{}); err != nil {
+				return false
+			}
+			want[name] = true
+		}
+		blob, err := d.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalDir(blob)
+		if err != nil {
+			return false
+		}
+		if back.Len() != len(want) {
+			return false
+		}
+		for n := range want {
+			if _, ok := back.Get(n); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sanitize maps arbitrary strings to a conservative name alphabet (or "").
+// XML cannot represent control characters at all, so names are restricted
+// the way a real file system would restrict them.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			out = append(out, r)
+		}
+		if len(out) >= 32 {
+			break
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,63 @@
+// Package netx defines the small dialing abstraction that lets every client
+// in the stack (IBP, L-Bone, NWS sensors, the Logistical Tools) run either
+// over the real network or over the simulated WAN in internal/faultnet
+// without knowing which.
+package netx
+
+import (
+	"net"
+	"time"
+)
+
+// Dialer opens client connections. net.Dialer satisfies the shape via
+// System; faultnet provides site-scoped simulated dialers.
+type Dialer interface {
+	// Dial opens a connection to addr within timeout.
+	Dial(network, addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// System returns a Dialer backed by the operating system network stack.
+func System() Dialer { return systemDialer{} }
+
+type systemDialer struct{}
+
+func (systemDialer) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	d := net.Dialer{Timeout: timeout}
+	return d.Dial(network, addr)
+}
+
+// VirtualDeadliner is implemented by connections whose I/O timing runs on a
+// virtual clock (the faultnet simulated WAN). Clients that keep time on a
+// virtual clock set operation deadlines through this interface instead of
+// net.Conn.SetDeadline, whose argument is wall-clock time.
+type VirtualDeadliner interface {
+	SetVirtualDeadline(t time.Time) error
+}
+
+// SetOpDeadline applies an operation deadline to conn. now is the caller's
+// clock reading and timeout the allowed duration. If the connection
+// understands virtual deadlines it receives now+timeout on that clock; the
+// wall-clock deadline is then only a generous hang guard. Otherwise the
+// deadline is enforced directly by the OS.
+func SetOpDeadline(conn net.Conn, now time.Time, timeout time.Duration) error {
+	if timeout <= 0 {
+		return nil
+	}
+	if vd, ok := conn.(VirtualDeadliner); ok {
+		if err := vd.SetVirtualDeadline(now.Add(timeout)); err != nil {
+			return err
+		}
+		// Guard against real hangs (e.g. a stuck peer) without
+		// interfering with virtual-time shaping.
+		return conn.SetDeadline(time.Now().Add(timeout + 30*time.Second))
+	}
+	return conn.SetDeadline(time.Now().Add(timeout))
+}
+
+// DialerFunc adapts a function to the Dialer interface.
+type DialerFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+// Dial implements Dialer.
+func (f DialerFunc) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	return f(network, addr, timeout)
+}

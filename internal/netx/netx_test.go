@@ -1,0 +1,104 @@
+package netx
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestSystemDialer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	conn, err := System().Dial("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+}
+
+func TestSystemDialerTimeout(t *testing.T) {
+	// RFC 5737 TEST-NET address: connection attempts black-hole.
+	_, err := System().Dial("tcp", "192.0.2.1:9", 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("dial to blackhole should time out")
+	}
+}
+
+func TestDialerFunc(t *testing.T) {
+	called := false
+	d := DialerFunc(func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		called = true
+		if network != "tcp" || addr != "x:1" || timeout != time.Second {
+			t.Fatalf("args: %s %s %v", network, addr, timeout)
+		}
+		return nil, net.ErrClosed
+	})
+	if _, err := d.Dial("tcp", "x:1", time.Second); err != net.ErrClosed {
+		t.Fatalf("err = %v", err)
+	}
+	if !called {
+		t.Fatal("DialerFunc not invoked")
+	}
+}
+
+// vconn fakes a virtual-deadline connection.
+type vconn struct {
+	net.Conn
+	vdeadline time.Time
+	deadline  time.Time
+}
+
+func (c *vconn) SetVirtualDeadline(t time.Time) error { c.vdeadline = t; return nil }
+func (c *vconn) SetDeadline(t time.Time) error        { c.deadline = t; return nil }
+
+type plainConn struct {
+	net.Conn
+	deadline time.Time
+}
+
+func (c *plainConn) SetDeadline(t time.Time) error { c.deadline = t; return nil }
+
+func TestSetOpDeadlineVirtual(t *testing.T) {
+	now := time.Date(2002, 1, 11, 0, 0, 0, 0, time.UTC)
+	c := &vconn{}
+	if err := SetOpDeadline(c, now, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !c.vdeadline.Equal(now.Add(time.Minute)) {
+		t.Fatalf("virtual deadline = %v", c.vdeadline)
+	}
+	// The wall-clock guard must be in the real future, not 2002.
+	if c.deadline.Before(time.Now()) {
+		t.Fatalf("real guard deadline %v is in the past", c.deadline)
+	}
+}
+
+func TestSetOpDeadlinePlain(t *testing.T) {
+	c := &plainConn{}
+	before := time.Now()
+	if err := SetOpDeadline(c, time.Now(), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if c.deadline.Before(before.Add(50*time.Second)) || c.deadline.After(before.Add(2*time.Minute)) {
+		t.Fatalf("deadline = %v, want ~now+1m", c.deadline)
+	}
+}
+
+func TestSetOpDeadlineZeroTimeoutIsNoop(t *testing.T) {
+	c := &plainConn{}
+	if err := SetOpDeadline(c, time.Now(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.deadline.IsZero() {
+		t.Fatal("zero timeout should not set a deadline")
+	}
+}

@@ -1,0 +1,118 @@
+package nws
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/netx"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// Client queries a remote NWS daemon. It satisfies the same Forecast /
+// Record shape as a local *Service, so the Logistical Tools can use either
+// ("Download is written to check and see if the NWS is available locally",
+// paper §2.3 — and fall back gracefully when it is not).
+type Client struct {
+	addr        string
+	dialer      netx.Dialer
+	clock       vclock.Clock
+	dialTimeout time.Duration
+	opTimeout   time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientDialer sets the dialer (default: system network).
+func WithClientDialer(d netx.Dialer) ClientOption { return func(c *Client) { c.dialer = d } }
+
+// WithClientClock sets the deadline clock.
+func WithClientClock(ck vclock.Clock) ClientOption { return func(c *Client) { c.clock = ck } }
+
+// NewRemote builds a client for the NWS daemon at addr.
+func NewRemote(addr string, opts ...ClientOption) *Client {
+	c := &Client{
+		addr:        addr,
+		dialer:      netx.System(),
+		clock:       vclock.Real(),
+		dialTimeout: 3 * time.Second,
+		opTimeout:   10 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *Client) connect() (*wire.Conn, error) {
+	raw, err := c.dialer.Dial("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("nws: dial %s: %w", c.addr, err)
+	}
+	if err := netx.SetOpDeadline(raw, c.clock.Now(), c.opTimeout); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return wire.NewConn(raw), nil
+}
+
+// Record submits a measurement. Errors are swallowed by design: losing a
+// measurement must never fail the operation being measured.
+func (c *Client) Record(src, dst string, res Resource, value float64) {
+	conn, err := c.connect()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	if err := conn.WriteLine(opRecord, src, dst, string(res),
+		strconv.FormatFloat(value, 'g', -1, 64)); err != nil {
+		return
+	}
+	conn.ReadStatus()
+}
+
+// Forecast asks the daemon for a prediction; ok is false when the series
+// is unknown or the daemon is unreachable.
+func (c *Client) Forecast(src, dst string, res Resource) (float64, bool) {
+	conn, err := c.connect()
+	if err != nil {
+		return 0, false
+	}
+	defer conn.Close()
+	if err := conn.WriteLine(opForecast, src, dst, string(res)); err != nil {
+		return 0, false
+	}
+	toks, err := conn.ReadStatus()
+	if err != nil || len(toks) != 1 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(toks[0], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// LastRemote fetches the most recent raw measurement of a series.
+func (c *Client) LastRemote(src, dst string, res Resource) (Measurement, bool) {
+	conn, err := c.connect()
+	if err != nil {
+		return Measurement{}, false
+	}
+	defer conn.Close()
+	if err := conn.WriteLine(opLast, src, dst, string(res)); err != nil {
+		return Measurement{}, false
+	}
+	toks, err := conn.ReadStatus()
+	if err != nil || len(toks) != 2 {
+		return Measurement{}, false
+	}
+	v, err1 := strconv.ParseFloat(toks[0], 64)
+	ts, err2 := strconv.ParseInt(toks[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return Measurement{}, false
+	}
+	return Measurement{Src: src, Dst: dst, Res: res, Value: v, Time: time.Unix(ts, 0).UTC()}, true
+}

@@ -1,0 +1,89 @@
+package nws
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"repro/internal/ibp"
+	"repro/internal/vclock"
+)
+
+// Recorder receives measurements — a local *Service or a remote *Client.
+type Recorder interface {
+	Record(src, dst string, res Resource, value float64)
+}
+
+// Sensor actively measures bandwidth and latency from one vantage point to
+// IBP depots, feeding a Recorder. It is the "NWS sensor" deployed alongside
+// each client in the paper's testbed.
+type Sensor struct {
+	svc        Recorder
+	client     *ibp.Client
+	clock      vclock.Clock
+	src        string
+	probeBytes int
+}
+
+// NewSensor builds a sensor measuring from vantage point src using client.
+// probeBytes sets the transfer size of one bandwidth probe (default 64 KiB).
+func NewSensor(svc Recorder, client *ibp.Client, clock vclock.Clock, src string, probeBytes int) *Sensor {
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	if probeBytes <= 0 {
+		probeBytes = 64 << 10
+	}
+	return &Sensor{svc: svc, client: client, clock: clock, src: src, probeBytes: probeBytes}
+}
+
+// ProbeDepot measures latency (STATUS round trip) and bandwidth (timed
+// store+load of a scratch allocation) to the depot at addr and records both
+// series.
+func (s *Sensor) ProbeDepot(addr string) error {
+	// Latency: one cheap status round trip.
+	t0 := s.clock.Now()
+	if _, err := s.client.Status(addr); err != nil {
+		return fmt.Errorf("nws: probe %s: %w", addr, err)
+	}
+	rttMs := float64(s.clock.Since(t0)) / float64(time.Millisecond)
+	s.svc.Record(s.src, addr, Latency, rttMs)
+
+	// Bandwidth: allocate a scratch byte array, store probe data, time the
+	// load back, then free it.
+	set, err := s.client.Allocate(addr, int64(s.probeBytes), 5*time.Minute, ibp.Soft)
+	if err != nil {
+		return fmt.Errorf("nws: probe %s: allocate: %w", addr, err)
+	}
+	defer s.client.Delete(set.Manage) // best effort cleanup
+	payload := make([]byte, s.probeBytes)
+	if _, err := rand.Read(payload); err != nil {
+		return fmt.Errorf("nws: probe payload: %w", err)
+	}
+	if _, err := s.client.Store(set.Write, payload); err != nil {
+		return fmt.Errorf("nws: probe %s: store: %w", addr, err)
+	}
+	t1 := s.clock.Now()
+	if _, err := s.client.Load(set.Read, 0, int64(s.probeBytes)); err != nil {
+		return fmt.Errorf("nws: probe %s: load: %w", addr, err)
+	}
+	elapsed := s.clock.Since(t1)
+	if elapsed <= 0 {
+		elapsed = time.Microsecond
+	}
+	mbits := float64(s.probeBytes*8) / 1e6 / elapsed.Seconds()
+	s.svc.Record(s.src, addr, Bandwidth, mbits)
+	return nil
+}
+
+// ProbeAll probes each depot, continuing past individual failures; it
+// returns the first error encountered, if any.
+func (s *Sensor) ProbeAll(addrs []string) error {
+	var first error
+	for _, a := range addrs {
+		if err := s.ProbeDepot(a); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

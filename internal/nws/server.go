@@ -1,0 +1,179 @@
+package nws
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// The paper's clients "query the Network Weather Service to provide live
+// performance measurements and forecasts" (§2.2). This file makes the NWS
+// a network daemon in its own right: sensors RECORD measurements, clients
+// ask for FORECASTs, both over the same line protocol the rest of the
+// stack speaks.
+
+// Protocol verbs.
+const (
+	opRecord   = "RECORD"
+	opForecast = "FORECAST"
+	opLast     = "LAST"
+	opQuit     = "QUIT"
+)
+
+// Server exposes a Service over TCP.
+type Server struct {
+	svc      *Service
+	ln       net.Listener
+	logger   *log.Logger
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	shutdown chan struct{}
+}
+
+// ServeNWS starts an NWS daemon around svc on addr.
+func ServeNWS(addr string, svc *Service, logger *log.Logger) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nws: listen %s: %w", addr, err)
+	}
+	s := &Server{svc: svc, ln: ln, logger: logger, shutdown: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.shutdown)
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.shutdown:
+			default:
+				s.logf("nws: accept: %v", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					s.logf("nws: connection panic: %v", r)
+				}
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(raw net.Conn) {
+	conn := wire.NewConn(raw)
+	defer conn.Close()
+	for {
+		toks, err := conn.ReadLine()
+		if err != nil {
+			if err != io.EOF {
+				s.logf("nws: read: %v", err)
+			}
+			return
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		if !s.dispatch(conn, toks[0], toks[1:]) {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(conn *wire.Conn, op string, args []string) bool {
+	var err error
+	switch op {
+	case opRecord:
+		err = s.handleRecord(conn, args)
+	case opForecast:
+		err = s.handleForecast(conn, args)
+	case opLast:
+		err = s.handleLast(conn, args)
+	case opQuit:
+		return false
+	default:
+		err = conn.WriteErr(wire.CodeUnsupported, "unknown operation %s", op)
+	}
+	if err != nil {
+		s.logf("nws: %s: %v", op, err)
+		return false
+	}
+	return true
+}
+
+// RECORD <src> <dst> <res> <value>
+func (s *Server) handleRecord(conn *wire.Conn, args []string) error {
+	if len(args) != 4 {
+		return conn.WriteErr(wire.CodeBadRequest, "RECORD wants <src> <dst> <res> <value>")
+	}
+	v, err := strconv.ParseFloat(args[3], 64)
+	if err != nil {
+		return conn.WriteErr(wire.CodeBadRequest, "bad value %q", args[3])
+	}
+	s.svc.Record(args[0], args[1], Resource(args[2]), v)
+	return conn.WriteOK()
+}
+
+// FORECAST <src> <dst> <res>
+func (s *Server) handleForecast(conn *wire.Conn, args []string) error {
+	if len(args) != 3 {
+		return conn.WriteErr(wire.CodeBadRequest, "FORECAST wants <src> <dst> <res>")
+	}
+	v, ok := s.svc.Forecast(args[0], args[1], Resource(args[2]))
+	if !ok {
+		return conn.WriteErr(wire.CodeNotFound, "no measurements for series")
+	}
+	return conn.WriteOK(strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// LAST <src> <dst> <res>
+func (s *Server) handleLast(conn *wire.Conn, args []string) error {
+	if len(args) != 3 {
+		return conn.WriteErr(wire.CodeBadRequest, "LAST wants <src> <dst> <res>")
+	}
+	m, ok := s.svc.Last(args[0], args[1], Resource(args[2]))
+	if !ok {
+		return conn.WriteErr(wire.CodeNotFound, "no measurements for series")
+	}
+	return conn.WriteOK(
+		strconv.FormatFloat(m.Value, 'g', -1, 64),
+		wire.Itoa(m.Time.Unix()),
+	)
+}

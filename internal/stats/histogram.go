@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram buckets a sample into equal-width bins for terminal rendering.
+type Histogram struct {
+	Min, Max float64
+	Width    float64
+	Counts   []int
+	N        int
+}
+
+// NewHistogram builds a histogram with the given number of buckets over
+// the sample's range. Empty samples or degenerate ranges yield a single
+// bucket.
+func NewHistogram(xs []float64, buckets int) *Histogram {
+	h := &Histogram{}
+	if len(xs) == 0 {
+		h.Counts = make([]int, 1)
+		return h
+	}
+	if buckets <= 0 {
+		buckets = 10
+	}
+	h.Min, h.Max = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		h.Min = math.Min(h.Min, x)
+		h.Max = math.Max(h.Max, x)
+	}
+	if h.Max == h.Min {
+		h.Counts = make([]int, 1)
+		h.Counts[0] = len(xs)
+		h.N = len(xs)
+		h.Width = 0
+		return h
+	}
+	h.Width = (h.Max - h.Min) / float64(buckets)
+	h.Counts = make([]int, buckets)
+	for _, x := range xs {
+		i := int((x - h.Min) / h.Width)
+		if i >= buckets {
+			i = buckets - 1
+		}
+		h.Counts[i]++
+		h.N++
+	}
+	return h
+}
+
+// Bucket returns the half-open range of bucket i.
+func (h *Histogram) Bucket(i int) (lo, hi float64) {
+	return h.Min + float64(i)*h.Width, h.Min + float64(i+1)*h.Width
+}
+
+// Render prints the histogram as horizontal bars with counts.
+func (h *Histogram) Render(title, unit string, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", title, h.N)
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		b.WriteString("  (no samples)\n")
+		return b.String()
+	}
+	for i, c := range h.Counts {
+		lo, hi := h.Bucket(i)
+		bar := int(math.Round(float64(c) / float64(maxCount) * float64(width)))
+		fmt.Fprintf(&b, "  %7.2f-%-7.2f %-4s |%s%s| %d\n",
+			lo, hi, unit, strings.Repeat("#", bar), strings.Repeat(" ", width-bar), c)
+	}
+	return b.String()
+}

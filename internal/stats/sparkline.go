@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sparkline compresses a series into a fixed-width strip of ASCII levels —
+// used for the availability-over-time extension figure that makes the
+// paper's Harvard depot incident visible as a dip.
+func Sparkline(title string, series []float64, min, max float64, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	levels := []byte(" .:-=+*#")
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(series) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	if width > len(series) {
+		width = len(series)
+	}
+	out := make([]byte, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(series) / width
+		hi := (i + 1) * len(series) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range series[lo:hi] {
+			sum += v
+		}
+		avg := sum / float64(hi-lo)
+		frac := 0.0
+		if max > min {
+			frac = (avg - min) / (max - min)
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		out[i] = levels[int(frac*float64(len(levels)-1)+0.5)]
+	}
+	fmt.Fprintf(&b, "  %6.1f |%s|\n", max, strings.Repeat("-", width))
+	fmt.Fprintf(&b, "         %s\n", string(out))
+	fmt.Fprintf(&b, "  %6.1f |%s|\n", min, strings.Repeat("-", width))
+	return b.String()
+}

@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %v, want sqrt(2)", s.Stddev)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.Stddev != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	s := []float64{10, 20, 30, 40}
+	if Percentile(s, 0) != 10 || Percentile(s, 100) != 40 {
+		t.Fatal("percentile bounds")
+	}
+	if got := Percentile(s, 50); got != 25 {
+		t.Fatalf("p50 = %v, want 25", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestSummaryInvariantsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] &&
+			s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min-1e-6 <= s.Mean && s.Mean <= s.Max+1e-6 &&
+			s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationsToSeconds(t *testing.T) {
+	got := DurationsToSeconds([]time.Duration{time.Second, 1500 * time.Millisecond})
+	if got[0] != 1 || got[1] != 1.5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Ratio() != 0 {
+		t.Fatal("empty counter ratio should be 0")
+	}
+	for i := 0; i < 95; i++ {
+		c.Observe(true)
+	}
+	for i := 0; i < 5; i++ {
+		c.Observe(false)
+	}
+	if c.Total() != 100 || c.Ratio() != 95 {
+		t.Fatalf("counter = %+v ratio %v", c, c.Ratio())
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("Availability", []string{"UTK1", "UCSB3"}, []float64{100, 60.51}, 100, 20)
+	if !strings.Contains(out, "UTK1") || !strings.Contains(out, "60.51") {
+		t.Fatalf("chart missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want title + 2 rows, got %d lines", len(lines))
+	}
+	// Full bar should have 20 '#'.
+	if got := strings.Count(lines[1], "#"); got != 20 {
+		t.Fatalf("full bar has %d #, want 20", got)
+	}
+}
+
+func TestBarChartClamping(t *testing.T) {
+	out := BarChart("t", []string{"a", "b"}, []float64{-5, 500}, 100, 10)
+	lines := strings.Split(out, "\n")
+	if strings.Count(lines[1], "#") != 0 {
+		t.Fatal("negative value should render empty bar")
+	}
+	if strings.Count(lines[2], "#") != 10 {
+		t.Fatal("overflow value should clamp to full bar")
+	}
+}
+
+func TestSegmentMap(t *testing.T) {
+	segs := []Segment{
+		{Label: "A", Start: 0, End: 600, Row: 0},
+		{Label: "B", Start: 0, End: 300, Row: 1},
+		{Label: "C", Start: 300, End: 600, Row: 1, Deleted: true},
+	}
+	out := SegmentMap("exnode", 600, segs, 60)
+	if !strings.Contains(out, "copy 0") || !strings.Contains(out, "copy 1") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "C[300:600] (deleted)") {
+		t.Fatalf("missing deleted marker:\n%s", out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Fatalf("deleted span should render dots:\n%s", out)
+	}
+}
+
+func TestPathHistogram(t *testing.T) {
+	h := NewPathHistogram()
+	for i := 0; i < 7; i++ {
+		h.Observe(0, 100, "UTK1")
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(0, 100, "UCSD1")
+	}
+	h.Observe(100, 200, "UNC")
+	entries := h.MostCommon()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %v", entries)
+	}
+	if entries[0].Depot != "UTK1" || math.Abs(entries[0].Share-0.7) > 1e-9 {
+		t.Fatalf("extent 0 = %+v", entries[0])
+	}
+	if entries[1].Depot != "UNC" || entries[1].Share != 1 {
+		t.Fatalf("extent 1 = %+v", entries[1])
+	}
+	out := h.RenderPath("path", 200, 40)
+	if !strings.Contains(out, "UTK1 [0:100] (70% of downloads)") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestPathHistogramDeterministicTie(t *testing.T) {
+	h := NewPathHistogram()
+	h.Observe(0, 10, "B")
+	h.Observe(0, 10, "A")
+	// Tie: alphabetical order wins deterministically (A).
+	if got := h.MostCommon()[0].Depot; got != "A" {
+		t.Fatalf("tie-break = %q, want A", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil, 5)
+	if h.N != 0 {
+		t.Fatal("empty histogram should have no samples")
+	}
+	if !strings.Contains(h.Render("t", "s", 10), "no samples") {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{3, 3, 3}, 5)
+	if len(h.Counts) != 1 || h.Counts[0] != 3 {
+		t.Fatalf("degenerate histogram: %+v", h)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	h := NewHistogram(xs, 5)
+	if h.N != 11 || len(h.Counts) != 5 {
+		t.Fatalf("histogram: %+v", h)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 11 {
+		t.Fatalf("counts sum to %d", total)
+	}
+	// The max value lands in the last bucket.
+	lo, hi := h.Bucket(4)
+	if lo != 8 || hi != 10 {
+		t.Fatalf("last bucket [%v,%v)", lo, hi)
+	}
+	out := h.Render("latency", "s", 20)
+	if !strings.Contains(out, "n=11") || !strings.Contains(out, "#") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(raw []uint16, bRaw uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		h := NewHistogram(xs, int(bRaw%20)+1)
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(xs) || (len(xs) == 0 && total == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package vclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(2002, 1, 11, 15, 0, 0, 0, time.UTC)
+
+func TestRealClockBasics(t *testing.T) {
+	c := Real()
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(t0) <= 0 {
+		t.Fatalf("Since returned non-positive duration after Sleep")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real After never fired")
+	}
+}
+
+func TestVirtualNowAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	if !v.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", v.Now(), epoch)
+	}
+	v.Advance(3 * time.Hour)
+	want := epoch.Add(3 * time.Hour)
+	if !v.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", v.Now(), want)
+	}
+	if got := v.Since(epoch); got != 3*time.Hour {
+		t.Fatalf("Since = %v, want 3h", got)
+	}
+}
+
+func TestVirtualAfterFiresAtDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch := v.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	v.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired 1s early")
+	default:
+	}
+	v.Advance(time.Second)
+	select {
+	case got := <-ch:
+		if !got.Equal(epoch.Add(10 * time.Second)) {
+			t.Fatalf("fired at %v, want %v", got, epoch.Add(10*time.Second))
+		}
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestVirtualAfterNonPositive(t *testing.T) {
+	v := NewVirtual(epoch)
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-v.After(-time.Second):
+	default:
+		t.Fatal("After(negative) should fire immediately")
+	}
+}
+
+func TestVirtualSleepersWakeAtOwnDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	durations := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	chans := make([]<-chan time.Time, len(durations))
+	for i, d := range durations {
+		chans[i] = v.After(d)
+	}
+	v.Advance(time.Minute)
+	for i, d := range durations {
+		got := <-chans[i]
+		if want := epoch.Add(d); !got.Equal(want) {
+			t.Fatalf("waiter %d woke at %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestVirtualAdvanceToNext(t *testing.T) {
+	v := NewVirtual(epoch)
+	if v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext on empty clock should report false")
+	}
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(42 * time.Second)
+		close(done)
+	}()
+	waitFor(t, func() bool { return v.PendingWaiters() == 1 })
+	if !v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext should report true with a waiter")
+	}
+	<-done
+	if got := v.Since(epoch); got != 42*time.Second {
+		t.Fatalf("clock advanced %v, want 42s", got)
+	}
+}
+
+func TestVirtualEqualDeadlinesFIFO(t *testing.T) {
+	v := NewVirtual(epoch)
+	var order []int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	const n = 8
+	chans := make([]<-chan time.Time, n)
+	for i := 0; i < n; i++ {
+		chans[i] = v.After(5 * time.Second) // registered in order, same deadline
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-chans[i]
+			mu.Lock()
+			order = append(order, int32(i))
+			mu.Unlock()
+		}(i)
+	}
+	v.Advance(5 * time.Second)
+	wg.Wait()
+	if len(order) != n {
+		t.Fatalf("woke %d waiters, want %d", len(order), n)
+	}
+}
+
+func TestVirtualManySleepersProperty(t *testing.T) {
+	// Property: advancing by the max duration wakes every sleeper exactly once.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		v := NewVirtual(epoch)
+		var woke atomic.Int64
+		var wg sync.WaitGroup
+		var max time.Duration
+		for _, r := range raw {
+			d := time.Duration(int(r)%1000+1) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			wg.Add(1)
+			go func(d time.Duration) {
+				defer wg.Done()
+				v.Sleep(d)
+				woke.Add(1)
+			}(d)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for v.PendingWaiters() != len(raw) && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Microsecond)
+		}
+		v.Advance(max)
+		wg.Wait()
+		return woke.Load() == int64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for condition")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,27 @@
+package wire
+
+import "testing"
+
+// FuzzUnquote hardens the token unescaper: no panic, and Quote∘Unquote is
+// the identity on whatever Unquote accepts... in the other direction:
+// anything Quote produces must Unquote back.
+func FuzzUnquote(f *testing.F) {
+	f.Add("%20")
+	f.Add("%")
+	f.Add("%zz")
+	f.Add("plain")
+	f.Add("%00")
+	f.Fuzz(func(t *testing.T, s string) {
+		// Unquote must not panic on anything.
+		_, _ = Unquote(s)
+		// Quote output must always be parseable and round-trip.
+		q := Quote(s)
+		back, err := Unquote(q)
+		if err != nil {
+			t.Fatalf("Quote produced unparseable token %q from %q", q, s)
+		}
+		if back != s {
+			t.Fatalf("round trip %q -> %q -> %q", s, q, back)
+		}
+	})
+}

@@ -1,0 +1,277 @@
+// Package wire implements the line-oriented framing shared by the IBP and
+// L-Bone protocols.
+//
+// Both protocols follow the style of the original IBP 1.0 wire format: a
+// request is a single line of space-separated ASCII tokens terminated by
+// '\n', optionally followed by a binary payload whose length was announced
+// in the line. Responses mirror this: a status line ("OK ..." or
+// "ERR <code> <message...>") optionally followed by a payload.
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MaxLineLen bounds a single protocol line; longer lines are rejected to
+// keep malformed or hostile peers from exhausting memory.
+const MaxLineLen = 16 * 1024
+
+// MaxBlobLen bounds a single announced binary payload (64 MiB).
+const MaxBlobLen = 64 << 20
+
+// ErrLineTooLong is returned when a peer sends a line beyond MaxLineLen.
+var ErrLineTooLong = errors.New("wire: line too long")
+
+// Conn is a framed connection. It is not safe for concurrent use; protocol
+// exchanges are strictly request/response.
+type Conn struct {
+	raw net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+}
+
+// NewConn wraps a network connection with protocol framing.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		raw: c,
+		br:  bufio.NewReaderSize(c, 64*1024),
+		bw:  bufio.NewWriterSize(c, 64*1024),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// SetDeadline sets the absolute read/write deadline on the underlying
+// connection. The zero time clears it.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// WriteLine writes tokens joined by single spaces and terminated by '\n',
+// then flushes. Tokens must not contain spaces or newlines; use Quote for
+// free-form text fields.
+func (c *Conn) WriteLine(tokens ...string) error {
+	for i, tok := range tokens {
+		if i > 0 {
+			if err := c.bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if strings.ContainsAny(tok, " \n\r") {
+			return fmt.Errorf("wire: token %q contains whitespace (use Quote)", tok)
+		}
+		if _, err := c.bw.WriteString(tok); err != nil {
+			return err
+		}
+	}
+	if err := c.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// ReadLine reads one line and splits it into tokens. It returns io.EOF when
+// the peer closed the connection cleanly before any bytes arrived.
+func (c *Conn) ReadLine() ([]string, error) {
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line == "" {
+			return nil, io.EOF
+		}
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		if errors.Is(err, bufio.ErrBufferFull) {
+			return nil, ErrLineTooLong
+		}
+		return nil, err
+	}
+	if len(line) > MaxLineLen {
+		return nil, ErrLineTooLong
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if line == "" {
+		return []string{}, nil
+	}
+	return strings.Fields(line), nil
+}
+
+// WriteBlob writes exactly len(p) payload bytes and flushes. The length must
+// have been announced on a preceding line.
+func (c *Conn) WriteBlob(p []byte) error {
+	if len(p) > MaxBlobLen {
+		return fmt.Errorf("wire: blob of %d bytes exceeds limit", len(p))
+	}
+	if _, err := c.bw.Write(p); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// ReadBlob reads exactly n payload bytes.
+func (c *Conn) ReadBlob(n int64) ([]byte, error) {
+	if n < 0 || n > MaxBlobLen {
+		return nil, fmt.Errorf("wire: blob length %d out of range", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(c.br, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CopyBlob streams exactly n payload bytes from the connection to w.
+func (c *Conn) CopyBlob(w io.Writer, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("wire: blob length %d out of range", n)
+	}
+	_, err := io.CopyN(w, c.br, n)
+	return err
+}
+
+// Quote encodes a free-form string as a single protocol token using URL-ish
+// percent escaping of spaces, percent signs, and control characters.
+func Quote(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if ch <= ' ' || ch == '%' || ch == 0x7f {
+			fmt.Fprintf(&b, "%%%02x", ch)
+		} else {
+			b.WriteByte(ch)
+		}
+	}
+	if b.Len() == 0 {
+		return "%00" // empty string marker (decodes to "")
+	}
+	return b.String()
+}
+
+// Unquote reverses Quote.
+func Unquote(s string) (string, error) {
+	if s == "%00" {
+		return "", nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			b.WriteByte(s[i])
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", fmt.Errorf("wire: truncated escape in %q", s)
+		}
+		v, err := strconv.ParseUint(s[i+1:i+3], 16, 8)
+		if err != nil {
+			return "", fmt.Errorf("wire: bad escape in %q: %w", s, err)
+		}
+		b.WriteByte(byte(v))
+		i += 2
+	}
+	return b.String(), nil
+}
+
+// Status codes shared across protocols.
+const (
+	CodeBadRequest   = "BAD_REQUEST"
+	CodeNotFound     = "NOT_FOUND"
+	CodeDenied       = "DENIED"
+	CodeExpired      = "EXPIRED"
+	CodeNoSpace      = "NO_SPACE"
+	CodeOutOfRange   = "OUT_OF_RANGE"
+	CodeInternal     = "INTERNAL"
+	CodeUnsupported  = "UNSUPPORTED"
+	CodeDurationCap  = "DURATION_LIMIT"
+	CodeUnavailable  = "UNAVAILABLE"
+	CodeCapMismatch  = "CAP_MISMATCH"
+	CodeQuotaReached = "QUOTA"
+)
+
+// RemoteError is an error reported by the server side of a protocol
+// exchange.
+type RemoteError struct {
+	Code    string
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote error %s: %s", e.Code, e.Message)
+}
+
+// IsRemoteAny reports whether err is any RemoteError.
+func IsRemoteAny(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// IsRemote reports whether err is a RemoteError with the given code.
+func IsRemote(err error, code string) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == code
+}
+
+// WriteOK writes an "OK" status line with optional extra tokens.
+func (c *Conn) WriteOK(tokens ...string) error {
+	return c.WriteLine(append([]string{"OK"}, tokens...)...)
+}
+
+// WriteErr writes an "ERR <code> <quoted message>" status line.
+func (c *Conn) WriteErr(code, format string, args ...any) error {
+	return c.WriteLine("ERR", code, Quote(fmt.Sprintf(format, args...)))
+}
+
+// ReadStatus reads a status line. On "OK" it returns the remaining tokens;
+// on "ERR" it returns a *RemoteError.
+func (c *Conn) ReadStatus() ([]string, error) {
+	toks, err := c.ReadLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, errors.New("wire: empty status line")
+	}
+	switch toks[0] {
+	case "OK":
+		return toks[1:], nil
+	case "ERR":
+		re := &RemoteError{Code: CodeInternal}
+		if len(toks) > 1 {
+			re.Code = toks[1]
+		}
+		if len(toks) > 2 {
+			if msg, err := Unquote(toks[2]); err == nil {
+				re.Message = msg
+			}
+		}
+		return nil, re
+	default:
+		return nil, fmt.Errorf("wire: malformed status line %q", strings.Join(toks, " "))
+	}
+}
+
+// ParseInt parses tok as a base-10 int64 with a contextual error.
+func ParseInt(field, tok string) (int64, error) {
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wire: bad %s %q", field, tok)
+	}
+	return v, nil
+}
+
+// Itoa formats an int64 token.
+func Itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+// IsGone reports whether err is a remote NOT_FOUND or EXPIRED — the
+// allocation is permanently gone, as opposed to its depot being down.
+func IsGone(err error) bool {
+	return IsRemote(err, CodeNotFound) || IsRemote(err, CodeExpired)
+}
