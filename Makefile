@@ -1,0 +1,18 @@
+# Tier-1 verification: build, vet, full test suite, then race-detector
+# runs of the concurrency-heavy packages (parallel transfers in core,
+# connection pool + shared health scoreboard in ibp).
+.PHONY: tier1 build vet test race
+
+tier1: build vet test race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race repro/internal/core repro/internal/ibp repro/internal/health

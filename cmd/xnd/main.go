@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exnode"
 	"repro/internal/geo"
+	"repro/internal/health"
 	"repro/internal/ibp"
 	"repro/internal/lbone"
 	"repro/internal/nws"
@@ -60,6 +61,8 @@ func main() {
 		err = cmdMaintain(args)
 	case "status":
 		err = cmdStatus(args)
+	case "health":
+		err = cmdHealth(args)
 	default:
 		usage()
 	}
@@ -81,7 +84,8 @@ commands:
   route     move a file toward a new location (augment + trim)
   verify    audit every segment's availability and checksum
   maintain  refresh, trim dead segments, and repair lost redundancy
-  status    query a depot's capacity and limits`)
+  status    query a depot's capacity and limits
+  health    probe depots and print the health scoreboard`)
 	os.Exit(2)
 }
 
@@ -114,16 +118,21 @@ func envOr(key, def string) string {
 	return def
 }
 
-// tools builds the Logistical Tools client from common flags.
+// tools builds the Logistical Tools client from common flags. Every
+// command shares one health scoreboard between the IBP client (which
+// reports outcomes and consults the breaker) and the tools (which rank
+// and place around open circuits).
 func (c *commonFlags) tools() (*core.Tools, error) {
 	site, ok := geo.LookupSite(*c.site)
 	if !ok {
 		return nil, fmt.Errorf("unknown site %q", *c.site)
 	}
+	sb := health.New(health.Config{})
 	t := &core.Tools{
-		IBP:  ibp.NewClient(ibp.WithOpTimeout(*c.timeout)),
-		Site: site.Name,
-		Loc:  site.Loc,
+		IBP:    ibp.NewClient(ibp.WithOpTimeout(*c.timeout), ibp.WithHealth(sb)),
+		Site:   site.Name,
+		Loc:    site.Loc,
+		Health: sb,
 	}
 	if *c.lbone != "" {
 		t.LBone = lbone.NewClient(*c.lbone)
@@ -517,6 +526,41 @@ func cmdMaintain(args []string) error {
 		*out = path
 	}
 	return writeExnode(*out, maintained)
+}
+
+func cmdHealth(args []string) error {
+	c := newFlags("health")
+	probes := c.fs.Int("probes", 3, "status probes per depot")
+	c.fs.Parse(args)
+	addrs := c.fs.Args()
+	t, err := c.tools()
+	if err != nil {
+		return err
+	}
+	if len(addrs) == 0 {
+		if *c.lbone == "" {
+			return fmt.Errorf("health wants depot addresses or -lbone")
+		}
+		depots, err := t.LBone.Query(lbone.Requirements{})
+		if err != nil {
+			return fmt.Errorf("depot discovery: %w", err)
+		}
+		for _, d := range depots {
+			addrs = append(addrs, d.Addr)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("no depots to probe")
+	}
+	for i := 0; i < *probes; i++ {
+		for _, addr := range addrs {
+			if _, err := t.IBP.Status(addr); err != nil {
+				log.Printf("probe %s: %v", addr, err)
+			}
+		}
+	}
+	fmt.Print(t.Health.Render())
+	return nil
 }
 
 func cmdStatus(args []string) error {

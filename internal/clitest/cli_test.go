@@ -235,6 +235,40 @@ func TestCLIUsageAndErrors(t *testing.T) {
 	}
 }
 
+func TestCLIHealthScoreboard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real binaries")
+	}
+	addrs := freePorts(t, 2)
+	liveAddr, deadAddr := addrs[0], addrs[1]
+	daemon(t, "ibp-depot", "-listen", liveAddr, "-capacity", "1048576")
+	waitListening(t, liveAddr)
+
+	// Probe one live depot and one dead port enough times to trip the
+	// breaker (default threshold 3). The dead port refuses instantly on
+	// loopback, so this stays fast.
+	out := run(t, "xnd", "health", "-probes", "4", liveAddr, deadAddr)
+	if !strings.Contains(out, "depot health scoreboard (2 depots)") {
+		t.Fatalf("health output: %s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var liveLine, deadLine string
+	for _, l := range lines {
+		if strings.Contains(l, liveAddr) {
+			liveLine = l
+		}
+		if strings.Contains(l, deadAddr) {
+			deadLine = l
+		}
+	}
+	if !strings.Contains(liveLine, "closed") || !strings.Contains(liveLine, "100.0%") {
+		t.Fatalf("live depot line: %q", liveLine)
+	}
+	if !strings.Contains(deadLine, "open") || !strings.Contains(deadLine, "backing off") {
+		t.Fatalf("dead depot line: %q", deadLine)
+	}
+}
+
 func TestCLIMaintainRepairsAfterDaemonDeath(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real binaries")

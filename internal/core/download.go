@@ -61,9 +61,9 @@ type DownloadOptions struct {
 	Raw bool
 	// Budget bounds the whole download in (possibly simulated) time:
 	// once exceeded, remaining extents are not attempted and the download
-	// fails with ErrBudgetExceeded. Zero means no bound. Only the
-	// sequential path enforces it (parallel workers would race the
-	// check).
+	// fails with ErrBudgetExceeded. Zero means no bound. Both the
+	// sequential and parallel paths enforce it; an in-flight extent is
+	// allowed to finish, but no further extent starts past the deadline.
 	Budget time.Duration
 }
 
@@ -124,10 +124,13 @@ func (t *Tools) DownloadRange(x *exnode.ExNode, offset, length int64, opts Downl
 	report := &Report{Extents: make([]ExtentReport, len(exts))}
 
 	dir := t.staticDirectoryIfNeeded(x, opts)
+	overBudget := func() bool {
+		return opts.Budget > 0 && t.clock().Since(start) > opts.Budget
+	}
 	workers := opts.Parallelism
 	if workers <= 1 {
 		for i, ext := range exts {
-			if opts.Budget > 0 && t.clock().Since(start) > opts.Budget {
+			if overBudget() {
 				report.Extents[i] = ExtentReport{Start: ext.Start, End: ext.End, Err: ErrBudgetExceeded}
 				continue
 			}
@@ -148,6 +151,15 @@ func (t *Tools) DownloadRange(x *exnode.ExNode, offset, length int64, opts Downl
 		for w := 0; w < workers; w++ {
 			go func() {
 				for j := range jobs {
+					// The deadline is checked before each job is fetched
+					// (the clock serializes reads, so workers cannot race
+					// it into a stale answer): skipped extents report
+					// ErrBudgetExceeded rather than pretending no budget
+					// was set.
+					if overBudget() {
+						report.Extents[j.idx] = ExtentReport{Start: j.ext.Start, End: j.ext.End, Err: ErrBudgetExceeded}
+						continue
+					}
 					er := t.fetchExtent(x, j.ext, buf[j.ext.Start-offset:j.ext.End-offset], opts, dir, j.idx)
 					report.Extents[j.idx] = er
 				}
@@ -297,8 +309,30 @@ func (t *Tools) attempt(m *exnode.Mapping, ext exnode.Extent, dst []byte, opts D
 	return nil
 }
 
-// rankCandidates orders mappings per the strategy.
+// rankCandidates orders mappings per the strategy, then demotes depots
+// whose health circuit is open below every healthy candidate: they stay in
+// the list as last-resort fallbacks (where the breaker fails them fast),
+// but no extent pays a dial timeout against a known-dead depot while a
+// healthy replica exists.
 func (t *Tools) rankCandidates(cands []*exnode.Mapping, opts DownloadOptions, dir map[string]geo.Point, seedMix int) []*exnode.Mapping {
+	out := t.rankByStrategy(cands, opts, dir, seedMix)
+	if t.Health == nil {
+		return out
+	}
+	healthy := make([]*exnode.Mapping, 0, len(out))
+	var blocked []*exnode.Mapping
+	for _, m := range out {
+		if t.healthBlocked(m.Read.Addr) {
+			blocked = append(blocked, m)
+		} else {
+			healthy = append(healthy, m)
+		}
+	}
+	return append(healthy, blocked...)
+}
+
+// rankByStrategy orders mappings per the strategy alone.
+func (t *Tools) rankByStrategy(cands []*exnode.Mapping, opts DownloadOptions, dir map[string]geo.Point, seedMix int) []*exnode.Mapping {
 	out := append([]*exnode.Mapping(nil), cands...)
 	switch t.effectiveStrategy(opts.Strategy) {
 	case StrategyRandom:

@@ -236,3 +236,35 @@ func TestDownloadBudget(t *testing.T) {
 		t.Fatalf("generous budget: %v", err)
 	}
 }
+
+func TestDownloadBudgetParallel(t *testing.T) {
+	// The parallel path must enforce Budget too: workers check the
+	// deadline before starting each extent and mark skipped ones with
+	// ErrBudgetExceeded rather than silently fetching past the budget.
+	e := newEnv(t)
+	e.addDepot("A", geo.UTK, nil)
+	e.model.SetLink("HARVARD", "UTK", faultnet.Link{RTT: 50 * time.Millisecond, Mbps: 1})
+	tl := e.tools(geo.Harvard, false)
+	data := payload(400 << 10) // ~3.3 s at 1 Mbit/s
+	x, err := tl.Upload("f", data, UploadOptions{Fragments: 8, Depots: e.infosFor("A")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := tl.Download(x, DownloadOptions{Budget: time.Second, Parallelism: 3})
+	if err == nil {
+		t.Fatal("budget-bound parallel download should fail")
+	}
+	budgeted := 0
+	for _, er := range rep.Extents {
+		if er.Err == ErrBudgetExceeded {
+			budgeted++
+		}
+	}
+	if budgeted == 0 {
+		t.Fatalf("no extents marked budget-exceeded: %+v", rep.Extents)
+	}
+	got, _, err := tl.Download(x, DownloadOptions{Budget: time.Minute, Parallelism: 3})
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("generous budget: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/geo"
+	"repro/internal/health"
+	"repro/internal/ibp"
+)
+
+// healthTools builds a Tools client at the given site with a shared health
+// scoreboard wired into both layers, mirroring what cmd/xnd does.
+func (e *env) healthTools(site geo.Site, sb *health.Scoreboard) *Tools {
+	e.t.Helper()
+	client := ibp.NewClient(
+		ibp.WithDialer(e.model.DialerFrom(site.Name)),
+		ibp.WithClock(e.clk),
+		ibp.WithDialTimeout(2*time.Second),
+		ibp.WithOpTimeout(60*time.Second),
+		ibp.WithHealth(sb),
+	)
+	return &Tools{
+		IBP:    client,
+		LBone:  RegistrySource{Reg: e.reg},
+		Clock:  e.clk,
+		Site:   site.Name,
+		Loc:    site.Loc,
+		Health: sb,
+	}
+}
+
+// TestDownloadBreakerSkipsDeadDepot is the issue's acceptance scenario: a
+// depot's link dies mid-download; the first extents pay the dial timeout
+// and trip its circuit, after which every remaining extent is served from
+// the surviving replica without re-paying the timeout.
+func TestDownloadBreakerSkipsDeadDepot(t *testing.T) {
+	e := newEnv(t)
+	e.addDepot("near", geo.UNC, nil)    // statically ranked first from HARVARD
+	e.addDepot("far", geo.UCSD, nil)
+	sb := health.New(health.Config{
+		FailureThreshold: 2,
+		BaseBackoff:      10 * time.Minute,
+		Clock:            e.clk,
+		Seed:             1,
+	})
+	tl := e.healthTools(geo.Harvard, sb)
+
+	// Two full replicas striped into four fragments each: rotation places
+	// one copy of every extent on each depot.
+	data := payload(1 << 20)
+	x, err := tl.Upload("breaker.dat", data, UploadOptions{
+		Replicas:  2,
+		Fragments: 4,
+		Depots:    e.infosFor("near", "far"),
+		Checksum:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The link to the near depot goes down before the download and stays
+	// down: every dial to it now hangs for the full 2s dial timeout.
+	e.model.SetLink(geo.Harvard.Name, geo.UNC.Name, faultnet.Link{
+		RTT: 40 * time.Millisecond, Mbps: 20,
+		Avail: faultnet.Windows{Down: []faultnet.Window{
+			{From: e.clk.Now(), To: e.clk.Now().Add(time.Hour)},
+		}},
+	})
+
+	got, rep, err := tl.Download(x, DownloadOptions{Strategy: StrategyStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatal("download corrupted")
+	}
+
+	nearAddr := e.depots["near"].Addr()
+	if st, _ := sb.State(nearAddr); st != health.StateOpen {
+		t.Fatalf("near depot breaker state = %v, want open", st)
+	}
+	// Only the first two extents pay the dial timeout (FailureThreshold 2
+	// opens the circuit); the remaining extents rank the dead depot last
+	// and fetch straight from the survivor.
+	if rep.Failovers != 2 {
+		t.Fatalf("failovers = %d, want exactly 2 (then the breaker opens)", rep.Failovers)
+	}
+	for i, er := range rep.Extents[2:] {
+		if er.Attempts != 1 {
+			t.Fatalf("extent %d attempts = %d, want 1 (dead depot skipped)", i+2, er.Attempts)
+		}
+	}
+	// Two timeouts at 2s each plus shaped transfer time: far below the 8s+
+	// a breaker-less client would burn timing out on all four extents.
+	if rep.Duration > 6*time.Second {
+		t.Fatalf("download took %v of virtual time; breaker did not skip the dead depot", rep.Duration)
+	}
+
+	// The scoreboard renders the outage the way `xnd health` would show it.
+	out := sb.Render()
+	if !strings.Contains(out, "open") || !strings.Contains(out, "backing off") {
+		t.Fatalf("render missing open/backing-off marker:\n%s", out)
+	}
+}
+
+// TestUploadPlacementAvoidsOpenCircuit checks the write path: fragment
+// placement reorders candidates so open-circuit depots are only used as a
+// last resort.
+func TestUploadPlacementAvoidsOpenCircuit(t *testing.T) {
+	e := newEnv(t)
+	e.addDepot("a", geo.UTK, nil)
+	e.addDepot("b", geo.UCSD, nil)
+	sb := health.New(health.Config{
+		FailureThreshold: 1,
+		BaseBackoff:      10 * time.Minute,
+		Clock:            e.clk,
+		Seed:             1,
+	})
+	tl := e.healthTools(geo.UTK, sb)
+
+	// Trip depot a's breaker directly: one reported timeout is enough at
+	// threshold 1.
+	aAddr := e.depots["a"].Addr()
+	sb.Report(aAddr, health.Timeout, 2*time.Second)
+	if st, _ := sb.State(aAddr); st != health.StateOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+
+	x, err := tl.Upload("place.dat", payload(64<<10), UploadOptions{
+		Fragments: 4,
+		Depots:    e.infosFor("a", "b"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range x.Mappings {
+		if m.Depot != "b" {
+			t.Fatalf("fragment placed on open-circuit depot %s", m.Depot)
+		}
+	}
+}

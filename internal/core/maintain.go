@@ -134,6 +134,12 @@ func (t *Tools) allocationGone(m *exnode.Mapping) bool {
 	if m.Manage.IsZero() {
 		return false
 	}
+	if t.healthBlocked(m.Manage.Addr) {
+		// Open circuit: the depot is (currently) unreachable, which is
+		// exactly the "depot down" case we must not trim on. No need to
+		// pay the probe to find that out.
+		return false
+	}
 	_, err := t.IBP.Probe(m.Manage)
 	if err == nil {
 		return false
@@ -147,6 +153,10 @@ func (t *Tools) worstCoverage(x *exnode.ExNode) int {
 	avail := map[*exnode.Mapping]bool{}
 	for _, m := range x.Mappings {
 		if !m.IsReplica() {
+			continue
+		}
+		if t.healthBlocked(m.Manage.Addr) {
+			// Open circuit counts as unavailable without paying the probe.
 			continue
 		}
 		if _, err := t.IBP.Probe(m.Manage); err == nil {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/exnode"
 	"repro/internal/geo"
+	"repro/internal/health"
 	"repro/internal/ibp"
 	"repro/internal/lbone"
 )
@@ -21,6 +22,16 @@ func (t *Tools) Refresh(x *exnode.ExNode, duration time.Duration) (int, error) {
 	refreshed := 0
 	for _, m := range x.Mappings {
 		if m.Manage.IsZero() {
+			continue
+		}
+		if t.healthBlocked(m.Manage.Addr) {
+			// The circuit is open: Extend would fail fast anyway, and the
+			// failure would count against nothing useful. Skip it; the next
+			// Refresh after the breaker recloses will catch the mapping up.
+			t.logf("core: refresh %s segment [%d,%d): skipped, depot circuit open", m.Depot, m.Offset, m.End())
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: refresh %s segment [%d,%d): %w", m.Depot, m.Offset, m.End(), health.ErrCircuitOpen)
+			}
 			continue
 		}
 		exp, err := t.IBP.Extend(m.Manage, duration)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/health"
 	"repro/internal/ibp"
 	"repro/internal/lbone"
 	"repro/internal/nws"
@@ -68,6 +69,13 @@ type Tools struct {
 	Loc geo.Point
 	// Logger, when set, receives per-attempt diagnostics.
 	Logger *log.Logger
+	// Health is the depot scoreboard shared with the IBP client. When set
+	// (to the same scoreboard passed via ibp.WithHealth), download ranking
+	// demotes open-circuit depots below every healthy candidate, upload
+	// placement and maintenance prefer healthy depots, and Refresh skips
+	// depots that would only fail fast. Nil disables health-aware
+	// behaviour.
+	Health *health.Scoreboard
 }
 
 func (t *Tools) clock() vclock.Clock {
@@ -81,6 +89,32 @@ func (t *Tools) logf(format string, args ...any) {
 	if t.Logger != nil {
 		t.Logger.Printf(format, args...)
 	}
+}
+
+// healthBlocked reports whether requests to addr would currently fail fast
+// at the IBP layer because the depot's circuit is open. Without a
+// scoreboard nothing is ever blocked.
+func (t *Tools) healthBlocked(addr string) bool {
+	return t.Health != nil && t.Health.Blocked(addr)
+}
+
+// preferHealthy stably reorders depot candidates so open-circuit depots
+// come last: placement still falls back to them if every healthy depot
+// refuses, but never burns a dial timeout on a known-dead depot first.
+func (t *Tools) preferHealthy(depots []lbone.DepotInfo) []lbone.DepotInfo {
+	if t.Health == nil {
+		return depots
+	}
+	healthy := make([]lbone.DepotInfo, 0, len(depots))
+	var blocked []lbone.DepotInfo
+	for _, d := range depots {
+		if t.healthBlocked(d.Addr) {
+			blocked = append(blocked, d)
+		} else {
+			healthy = append(healthy, d)
+		}
+	}
+	return append(healthy, blocked...)
 }
 
 // depotDirectory returns the current L-Bone view keyed by depot address,

@@ -119,7 +119,7 @@ func (t *Tools) Upload(name string, data []byte, opts UploadOptions) (*exnode.Ex
 		jb := jobs[i]
 		var m *exnode.Mapping
 		var lastErr error
-		for _, depot := range candidates[i] {
+		for _, depot := range t.preferHealthy(candidates[i]) {
 			m, lastErr = t.uploadFragment(name, data, jb.ext, depot, jb.replica, opts)
 			if lastErr == nil {
 				return m, nil

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/netx"
 	"repro/internal/vclock"
 	"repro/internal/wire"
@@ -20,6 +21,7 @@ type Client struct {
 	dialTimeout time.Duration
 	opTimeout   time.Duration
 	pool        *connPool
+	health      *health.Scoreboard
 }
 
 // Option configures a Client.
@@ -37,6 +39,16 @@ func WithDialTimeout(d time.Duration) Option { return func(c *Client) { c.dialTi
 // WithOpTimeout bounds a single protocol exchange (default 30s). The
 // download tool relies on this to fail over between replicas.
 func WithOpTimeout(d time.Duration) Option { return func(c *Client) { c.opTimeout = d } }
+
+// WithHealth attaches a depot health scoreboard: every operation outcome
+// is reported to it, and its circuit breaker is consulted before dialing —
+// requests to an open-circuit depot fail fast with an error matching
+// health.ErrCircuitOpen instead of paying dial and op timeouts. Share one
+// scoreboard across the clients and tools of a process.
+func WithHealth(sb *health.Scoreboard) Option { return func(c *Client) { c.health = sb } }
+
+// Health returns the attached scoreboard, or nil.
+func (c *Client) Health() *health.Scoreboard { return c.health }
 
 // NewClient builds a client with the given options.
 func NewClient(opts ...Option) *Client {
@@ -74,8 +86,25 @@ func (c *Client) applyDeadline(conn *wire.Conn) error {
 // withConn runs one protocol exchange on a pooled or fresh connection,
 // retrying once on a fresh dial when a reused connection turns out stale.
 // op must be safe to re-run from scratch (all client exchanges are: they
-// buffer their own output).
+// buffer their own output). With a scoreboard attached, the depot's
+// circuit breaker is consulted first and the exchange's final outcome is
+// reported back.
 func (c *Client) withConn(addr string, retryable bool, op func(conn *wire.Conn) error) error {
+	if c.health != nil {
+		if err := c.health.Allow(addr); err != nil {
+			return err
+		}
+	}
+	start := c.clock.Now()
+	err := c.exchange(addr, retryable, op)
+	if c.health != nil {
+		c.health.Report(addr, health.Classify(err), c.clock.Since(start))
+	}
+	return err
+}
+
+// exchange is withConn without the health bookkeeping.
+func (c *Client) exchange(addr string, retryable bool, op func(conn *wire.Conn) error) error {
 	conn, reused, err := c.acquire(addr)
 	if err != nil {
 		return err

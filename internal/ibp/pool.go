@@ -16,29 +16,57 @@ import (
 // Pooling is opt-in via WithPooling: benchmarks show when the dial round
 // trip matters.
 
+// defaultMaxIdleAge is how long a parked connection stays reusable. A
+// depot restart leaves every pooled conn to it stale; without an age
+// limit each subsequent operation would burn a round trip discovering
+// that via the retry-on-reuse path.
+const defaultMaxIdleAge = 90 * time.Second
+
+// idleConn is a parked connection stamped with its park time.
+type idleConn struct {
+	conn   *wire.Conn
+	parked time.Time
+}
+
 // connPool keeps idle framed connections per depot address.
 type connPool struct {
-	mu      sync.Mutex
-	idle    map[string][]*wire.Conn
-	maxIdle int
-	closed  bool
+	mu         sync.Mutex
+	idle       map[string][]idleConn
+	maxIdle    int
+	maxIdleAge time.Duration
+	now        func() time.Time // wall clock; swappable in tests
+	closed     bool
 }
 
 func newConnPool(maxIdle int) *connPool {
-	return &connPool{idle: make(map[string][]*wire.Conn), maxIdle: maxIdle}
+	return &connPool{
+		idle:       make(map[string][]idleConn),
+		maxIdle:    maxIdle,
+		maxIdleAge: defaultMaxIdleAge,
+		now:        time.Now,
+	}
 }
 
-// get returns an idle connection to addr, or nil.
+// get returns an idle connection to addr, or nil. Connections parked
+// longer than maxIdleAge are dropped rather than returned: their peer has
+// likely closed or restarted, and handing them out would force every
+// caller through the stale-conn retry path.
 func (p *connPool) get(addr string) *wire.Conn {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	conns := p.idle[addr]
-	if len(conns) == 0 {
-		return nil
+	cutoff := p.now().Add(-p.maxIdleAge)
+	for len(conns) > 0 {
+		ic := conns[len(conns)-1]
+		conns = conns[:len(conns)-1]
+		p.idle[addr] = conns
+		if p.maxIdleAge > 0 && ic.parked.Before(cutoff) {
+			ic.conn.Close()
+			continue
+		}
+		return ic.conn
 	}
-	conn := conns[len(conns)-1]
-	p.idle[addr] = conns[:len(conns)-1]
-	return conn
+	return nil
 }
 
 // put parks a healthy connection for reuse; overflow closes it.
@@ -49,7 +77,7 @@ func (p *connPool) put(addr string, conn *wire.Conn) {
 		conn.Close()
 		return
 	}
-	p.idle[addr] = append(p.idle[addr], conn)
+	p.idle[addr] = append(p.idle[addr], idleConn{conn: conn, parked: p.now()})
 	p.mu.Unlock()
 }
 
@@ -59,8 +87,8 @@ func (p *connPool) closeAll() {
 	defer p.mu.Unlock()
 	p.closed = true
 	for addr, conns := range p.idle {
-		for _, c := range conns {
-			c.Close()
+		for _, ic := range conns {
+			ic.conn.Close()
 		}
 		delete(p.idle, addr)
 	}
@@ -72,6 +100,17 @@ func WithPooling(maxIdle int) Option {
 	return func(c *Client) {
 		if maxIdle > 0 {
 			c.pool = newConnPool(maxIdle)
+		}
+	}
+}
+
+// WithPoolIdleAge bounds how long a pooled connection may sit idle before
+// get drops it (default 90s; <=0 disables the age check). Apply after
+// WithPooling.
+func WithPoolIdleAge(d time.Duration) Option {
+	return func(c *Client) {
+		if c.pool != nil {
+			c.pool.maxIdleAge = d
 		}
 	}
 }

@@ -2,8 +2,10 @@ package ibp
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
+	"os"
 	"testing"
 	"time"
 
@@ -49,6 +51,43 @@ func TestConnPoolCloseAll(t *testing.T) {
 	}
 }
 
+func TestConnPoolDropsOverAgedConns(t *testing.T) {
+	p := newConnPool(4)
+	now := time.Unix(1_000_000, 0)
+	p.now = func() time.Time { return now }
+	p.maxIdleAge = time.Minute
+
+	stale := fakeConn(t)
+	p.put("a:1", stale)
+	now = now.Add(30 * time.Second)
+	fresh := fakeConn(t)
+	p.put("a:1", fresh)
+
+	// 45s later the first conn is 75s old (over the limit) and the second
+	// 45s old (under). LIFO pops fresh first; the stale one must be
+	// dropped, not handed out.
+	now = now.Add(45 * time.Second)
+	if got := p.get("a:1"); got != fresh {
+		t.Fatal("fresh conn should be returned")
+	}
+	if got := p.get("a:1"); got != nil {
+		t.Fatal("over-aged conn must be dropped, not reused")
+	}
+	// Dropped means closed: a write on the wrapped pipe now fails.
+	if err := stale.WriteLine("PING"); err == nil {
+		t.Fatal("dropped conn was not closed")
+	}
+
+	// Age check disabled: arbitrarily old conns are still handed out.
+	p.maxIdleAge = 0
+	old := fakeConn(t)
+	p.put("b:1", old)
+	now = now.Add(24 * time.Hour)
+	if got := p.get("b:1"); got != old {
+		t.Fatal("age check disabled should return the conn")
+	}
+}
+
 func fakeConn(t *testing.T) *wire.Conn {
 	t.Helper()
 	a, b := net.Pipe()
@@ -65,8 +104,18 @@ func TestIsConnReuseError(t *testing.T) {
 		{io.EOF, true},
 		{io.ErrUnexpectedEOF, true},
 		{net.ErrClosed, true},
+		{os.ErrDeadlineExceeded, true},
 		{&net.OpError{Op: "read", Err: errors.New("reset")}, true},
+		// Wrapped connectivity errors classify the same.
+		{fmt.Errorf("ibp: load: %w", io.EOF), true},
+		{fmt.Errorf("ibp: dial x: %w", &net.OpError{Op: "dial", Err: errors.New("refused")}), true},
+		// Remote protocol errors mean the depot answered; retrying the
+		// same request would just repeat the answer (or worse, repeat a
+		// non-idempotent side effect).
 		{&wire.RemoteError{Code: wire.CodeNotFound}, false},
+		{&wire.RemoteError{Code: wire.CodeExpired}, false},
+		{&wire.RemoteError{Code: wire.CodeInternal}, false},
+		{fmt.Errorf("op: %w", &wire.RemoteError{Code: wire.CodeBadRequest}), false},
 		{errors.New("some app error"), false},
 	}
 	for _, c := range cases {
