@@ -1,9 +1,10 @@
-# Tier-1 verification: build, vet, full test suite, then race-detector
-# runs of the concurrency-heavy packages (parallel transfers in core,
-# connection pool + shared health scoreboard in ibp).
-.PHONY: tier1 build vet test race
+# Tier-1 verification: build, vet (+staticcheck when installed), full test
+# suite, then race-detector runs of the concurrency-heavy packages
+# (parallel transfers in core, connection pool + shared health scoreboard
+# in ibp, depot metric counters, lbone registry, the obs collector).
+.PHONY: tier1 build vet staticcheck test race bench
 
-tier1: build vet test race
+tier1: build vet staticcheck test race
 
 build:
 	go build ./...
@@ -11,8 +12,25 @@ build:
 vet:
 	go vet ./...
 
+# staticcheck is optional tooling: run it when the host has it, fall back
+# to vet-only otherwise (no network installs during verification).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go vet still ran)"; \
+	fi
+
 test:
 	go test ./...
 
 race:
-	go test -race repro/internal/core repro/internal/ibp repro/internal/health
+	go test -race repro/internal/core repro/internal/ibp repro/internal/health \
+		repro/internal/depot repro/internal/lbone repro/internal/obs
+
+# End-to-end transfer benchmarks → BENCH_upload_download.json
+# (ns/op and MB/s per bench; raw bench log stays on stderr).
+bench:
+	go test -run '^$$' -bench 'BenchmarkUploadDownload|BenchmarkIBPRoundTrip' -benchmem . \
+		| go run ./cmd/benchjson > BENCH_upload_download.json
+	@echo "wrote BENCH_upload_download.json"

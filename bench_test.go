@@ -712,6 +712,66 @@ func BenchmarkErasureVsReplication(b *testing.B) {
 	})
 }
 
+// ---- end-to-end transfer benches ----
+// `make bench` runs these and writes BENCH_upload_download.json.
+
+func BenchmarkUploadDownload(b *testing.B) {
+	reg := lbone.NewRegistry(0, nil)
+	var infos []lbone.DepotInfo
+	for i := 0; i < 4; i++ {
+		d, err := depot.Serve("127.0.0.1:0", depot.Config{
+			Secret: []byte(fmt.Sprintf("ud-%d", i)), Capacity: 1 << 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		info := lbone.DepotInfo{
+			Addr: d.Addr(), Name: fmt.Sprintf("D%d", i), Site: "UTK",
+			Loc: geo.UTK.Loc, Capacity: 1 << 30, MaxDuration: 240 * time.Hour,
+		}
+		reg.Register(info)
+		infos = append(infos, info)
+	}
+	c := ibp.NewClient(ibp.WithPooling(8))
+	defer c.Close()
+	tools := &core.Tools{
+		IBP:   c,
+		LBone: core.RegistrySource{Reg: reg},
+		Site:  "UTK",
+		Loc:   geo.UTK.Loc,
+	}
+	data := bytes.Repeat([]byte{6}, 4<<20)
+	b.Run("upload", func(b *testing.B) {
+		b.SetBytes(4 << 20)
+		for i := 0; i < b.N; i++ {
+			x, err := tools.Upload("ud", data, core.UploadOptions{
+				Fragments: 4, Parallelism: 4, Depots: infos, Duration: time.Hour,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cleanupExnode(b, tools, x)
+		}
+	})
+	b.Run("download", func(b *testing.B) {
+		x, err := tools.Upload("ud", data, core.UploadOptions{
+			Fragments: 4, Depots: infos, Duration: time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cleanupExnode(b, tools, x)
+		b.SetBytes(4 << 20)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := tools.Download(x, core.DownloadOptions{Parallelism: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func cleanupExnode(b *testing.B, tools *core.Tools, x *exnode.ExNode) {
 	b.Helper()
 	for _, m := range x.Mappings {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +37,7 @@ func main() {
 		site        = flag.String("site", "UTK", "site name for proximity resolution (see internal/geo)")
 		heartbeat   = flag.Duration("heartbeat", time.Minute, "L-Bone heartbeat interval")
 		reapEvery   = flag.Duration("reap", time.Minute, "expired-allocation sweep interval")
+		metricsAddr = flag.String("metrics-listen", "", "serve /metrics and /healthz over HTTP on this address (e.g. :9714; empty = off)")
 	)
 	flag.Parse()
 
@@ -62,6 +64,15 @@ func main() {
 		log.Fatalf("ibp-depot: %v", err)
 	}
 	log.Printf("ibp-depot: serving %d bytes on %s (capabilities name %s)", *capacity, d.Addr(), d.Advertised())
+
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("ibp-depot: metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, d.ObsMux()); err != nil {
+				log.Printf("ibp-depot: metrics listener: %v", err)
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

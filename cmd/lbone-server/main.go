@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -21,9 +22,10 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:6767", "address to listen on")
-		ttl    = flag.Duration("ttl", 5*time.Minute, "depot liveness window (0 = never expire)")
-		poll   = flag.Duration("poll", 0, "refresh depot capacities via STATUS at this interval (0 = off)")
+		listen      = flag.String("listen", "127.0.0.1:6767", "address to listen on")
+		ttl         = flag.Duration("ttl", 5*time.Minute, "depot liveness window (0 = never expire)")
+		poll        = flag.Duration("poll", 0, "refresh depot capacities via STATUS at this interval (0 = off)")
+		metricsAddr = flag.String("metrics-listen", "", "serve /metrics and /healthz over HTTP on this address (e.g. :9767; empty = off)")
 	)
 	flag.Parse()
 
@@ -35,6 +37,14 @@ func main() {
 		log.Fatalf("lbone-server: %v", err)
 	}
 	log.Printf("lbone-server: listening on %s (ttl %v)", s.Addr(), *ttl)
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("lbone-server: metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, s.ObsMux()); err != nil {
+				log.Printf("lbone-server: metrics listener: %v", err)
+			}
+		}()
+	}
 	if *poll > 0 {
 		p := s.StartPoller(ibp.NewClient(), *poll)
 		defer p.Stop()

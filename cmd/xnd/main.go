@@ -29,16 +29,25 @@ import (
 	"repro/internal/ibp"
 	"repro/internal/lbone"
 	"repro/internal/nws"
+	"repro/internal/obs"
 	"repro/internal/sealing"
+)
+
+// traceOn enables the global --trace flag: every IBP operation is recorded
+// by an obs.Collector and dumped (with per-transfer timelines) on exit.
+var (
+	traceOn  bool
+	traceCol *obs.Collector
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("xnd: ")
-	if len(os.Args) < 2 {
+	args := stripTraceFlag(os.Args[1:])
+	if len(args) < 1 {
 		usage()
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := args[0], args[1:]
 	var err error
 	switch cmd {
 	case "upload":
@@ -63,16 +72,46 @@ func main() {
 		err = cmdStatus(args)
 	case "health":
 		err = cmdHealth(args)
+	case "metrics":
+		err = cmdMetrics(args)
 	default:
 		usage()
 	}
+	dumpTrace()
 	if err != nil {
 		log.Fatal(err)
 	}
 }
 
+// stripTraceFlag removes -trace/--trace anywhere on the command line (it is
+// a mode of the whole invocation, not of one subcommand) and remembers it.
+func stripTraceFlag(args []string) []string {
+	out := args[:0:0]
+	for _, a := range args {
+		if a == "-trace" || a == "--trace" {
+			traceOn = true
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// dumpTrace prints the recorded operation events and per-depot aggregates
+// to stderr. It runs on success AND on failure — traces of failed
+// transfers are the ones worth reading.
+func dumpTrace() {
+	if traceCol == nil || traceCol.Total() == 0 {
+		return
+	}
+	fmt.Fprint(os.Stderr, "\n--- operation trace ---\n")
+	fmt.Fprint(os.Stderr, traceCol.RenderEvents(50))
+	fmt.Fprint(os.Stderr, "\n--- per-depot aggregates ---\n")
+	fmt.Fprint(os.Stderr, traceCol.Render())
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: xnd <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: xnd [--trace] <command> [flags]
 
 commands:
   upload    store a local file into the network, emitting an exnode
@@ -85,7 +124,11 @@ commands:
   verify    audit every segment's availability and checksum
   maintain  refresh, trim dead segments, and repair lost redundancy
   status    query a depot's capacity and limits
-  health    probe depots and print the health scoreboard`)
+  health    probe depots and print the health scoreboard
+  metrics   fetch a depot's operation counters (METRICS verb)
+
+--trace records every IBP operation and prints per-transfer timelines
+(including failed attempts) plus per-depot latency aggregates to stderr.`)
 	os.Exit(2)
 }
 
@@ -128,8 +171,13 @@ func (c *commonFlags) tools() (*core.Tools, error) {
 		return nil, fmt.Errorf("unknown site %q", *c.site)
 	}
 	sb := health.New(health.Config{})
+	opts := []ibp.Option{ibp.WithOpTimeout(*c.timeout), ibp.WithHealth(sb)}
+	if traceOn {
+		traceCol = obs.NewCollector(obs.DefaultRingSize)
+		opts = append(opts, ibp.WithObserver(traceCol))
+	}
 	t := &core.Tools{
-		IBP:    ibp.NewClient(ibp.WithOpTimeout(*c.timeout), ibp.WithHealth(sb)),
+		IBP:    ibp.NewClient(opts...),
 		Site:   site.Name,
 		Loc:    site.Loc,
 		Health: sb,
@@ -228,7 +276,14 @@ func cmdUpload(args []string) error {
 			}
 			opts.Near = &s.Loc
 		}
+		rep := &core.UploadReport{}
+		if traceOn {
+			opts.Report = rep
+		}
 		x, err = t.Upload(c.fs.Arg(0), data, opts)
+		if traceOn && len(rep.Fragments) > 0 {
+			fmt.Fprint(os.Stderr, "--- upload timeline ---\n", rep.Timeline())
+		}
 		if err != nil {
 			return err
 		}
@@ -286,6 +341,9 @@ func cmdDownload(args []string) error {
 		dlOpts.DecryptionKey = sealing.DeriveKey(*pass)
 	}
 	data, rep, err := t.DownloadRange(x, *offset, n, dlOpts)
+	if traceOn && rep != nil {
+		fmt.Fprint(os.Stderr, "--- download timeline ---\n", rep.Timeline())
+	}
 	if err != nil {
 		return err
 	}
@@ -517,6 +575,11 @@ func cmdMaintain(args []string) error {
 		RefreshBelow: *refreshBelow,
 		RefreshTo:    *refreshTo,
 	})
+	if traceOn && rep != nil {
+		for _, e := range rep.Events {
+			fmt.Fprintf(os.Stderr, "maintain %s\n", e)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -584,6 +647,55 @@ func cmdStatus(args []string) error {
 			m.Allocates, m.Stores, m.BytesIn, m.Loads, m.BytesOut, m.Probes, m.Extends, m.Deletes)
 		fmt.Printf("health: %d errors, %d cap violations, %d reaped, %d restored, %d connections\n",
 			m.Errors, m.Violations, m.Reaped, m.Restores, m.Connects)
+	}
+	return nil
+}
+
+// cmdMetrics fetches a depot's full operation-counter snapshot over the
+// wire METRICS verb, in either a human listing or Prometheus text format.
+func cmdMetrics(args []string) error {
+	c := newFlags("metrics")
+	prom := c.fs.Bool("prom", false, "print in Prometheus text exposition format")
+	c.fs.Parse(args)
+	if c.fs.NArg() != 1 {
+		return fmt.Errorf("metrics wants exactly one depot address")
+	}
+	addr := c.fs.Arg(0)
+	t, err := c.tools()
+	if err != nil {
+		return err
+	}
+	m, err := t.IBP.Metrics(addr)
+	if err != nil {
+		return err
+	}
+	rows := []struct {
+		name string
+		v    int64
+	}{
+		{"allocates", m.Allocates}, {"stores", m.Stores}, {"loads", m.Loads},
+		{"probes", m.Probes}, {"extends", m.Extends}, {"deletes", m.Deletes},
+		{"bytes_in", m.BytesIn}, {"bytes_out", m.BytesOut},
+		{"errors", m.Errors}, {"reaped", m.Reaped}, {"connects", m.Connects},
+		{"restores", m.Restores}, {"cap_violations", m.Violations},
+	}
+	if *prom {
+		ms := make([]obs.Metric, len(rows))
+		for i, r := range rows {
+			ms[i] = obs.Metric{
+				Name: "ibp_depot_" + r.name + "_total", Type: "counter",
+				Help:  "Depot counter " + r.name + " (fetched via METRICS).",
+				Value: float64(r.v),
+			}
+		}
+		var sb strings.Builder
+		obs.WriteMetrics(&sb, ms)
+		fmt.Print(sb.String())
+		return nil
+	}
+	fmt.Printf("depot %s counters:\n", addr)
+	for _, r := range rows {
+		fmt.Printf("  %-14s %d\n", r.name, r.v)
 	}
 	return nil
 }

@@ -77,11 +77,12 @@ var ErrEncrypted = errors.New("core: exnode is encrypted; supply DownloadOptions
 // ExtentReport records how one extent of a download was served.
 type ExtentReport struct {
 	Start, End int64
-	Depot      string // depot display name that served it ("" on failure)
-	Addr       string // depot address
-	Attempts   int    // candidates tried (including the winner)
-	Coded      bool   // served via parity/RS recovery instead of a replica
-	Err        error  // non-nil when the extent could not be retrieved
+	Depot      string    // depot display name that served it ("" on failure)
+	Addr       string    // depot address
+	Attempts   int       // candidates tried (including the winner)
+	Coded      bool      // served via parity/RS recovery instead of a replica
+	Trail      []Attempt // every attempt in order, failures included
+	Err        error     // non-nil when the extent could not be retrieved
 }
 
 // Report summarizes a download for the experiment harness.
@@ -253,11 +254,18 @@ func (t *Tools) fetchExtent(x *exnode.ExNode, ext exnode.Extent, dst []byte, opt
 			break
 		}
 		er.Attempts++
-		if err := t.attempt(m, ext, dst, opts); err != nil {
+		t0 := t.clock().Now()
+		err := t.attempt(m, ext, dst, opts)
+		a := Attempt{Depot: m.Depot, Addr: m.Read.Addr, Start: t0, Duration: t.clock().Since(t0)}
+		if err != nil {
+			a.Err = err.Error()
+			er.Trail = append(er.Trail, a)
 			t.logf("core: extent [%d,%d): depot %s failed: %v", ext.Start, ext.End, m.Depot, err)
 			er.Err = err
 			continue
 		}
+		a.Bytes = ext.Len()
+		er.Trail = append(er.Trail, a)
 		er.Depot = m.Depot
 		er.Addr = m.Read.Addr
 		er.Err = nil
@@ -265,16 +273,22 @@ func (t *Tools) fetchExtent(x *exnode.ExNode, ext exnode.Extent, dst []byte, opt
 	}
 	// Every replica failed (or none existed): try coded recovery.
 	if !opts.DisableCoding {
-		if depot, err := t.recoverFromCoding(x, ext, dst, opts); err == nil {
+		t0 := t.clock().Now()
+		depot, err := t.recoverFromCoding(x, ext, dst, opts)
+		a := Attempt{Depot: depot, Coded: true, Start: t0, Duration: t.clock().Since(t0)}
+		if err == nil {
+			a.Bytes = ext.Len()
+			er.Trail = append(er.Trail, a)
 			er.Depot = depot
 			er.Coded = true
 			er.Err = nil
 			return er
-		} else {
-			t.logf("core: extent [%d,%d): coded recovery failed: %v", ext.Start, ext.End, err)
-			if er.Err == nil {
-				er.Err = err
-			}
+		}
+		a.Err = err.Error()
+		er.Trail = append(er.Trail, a)
+		t.logf("core: extent [%d,%d): coded recovery failed: %v", ext.Start, ext.End, err)
+		if er.Err == nil {
+			er.Err = err
 		}
 	}
 	if er.Err == nil {

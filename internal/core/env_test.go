@@ -46,9 +46,16 @@ func newEnv(t *testing.T) *env {
 // addDepot starts a depot daemon at the named site.
 func (e *env) addDepot(name string, site geo.Site, avail faultnet.Availability) *depot.Depot {
 	e.t.Helper()
+	return e.addDepotCap(name, site, avail, 256<<20)
+}
+
+// addDepotCap is addDepot with an explicit capacity, for tests that need a
+// depot small enough to refuse allocations.
+func (e *env) addDepotCap(name string, site geo.Site, avail faultnet.Availability, capacity int64) *depot.Depot {
+	e.t.Helper()
 	d, err := depot.Serve("127.0.0.1:0", depot.Config{
 		Secret:   []byte("core-test-" + name),
-		Capacity: 256 << 20,
+		Capacity: capacity,
 		Clock:    e.clk,
 	})
 	if err != nil {
@@ -61,7 +68,7 @@ func (e *env) addDepot(name string, site geo.Site, avail faultnet.Availability) 
 		Name:        name,
 		Site:        site.Name,
 		Loc:         site.Loc,
-		Capacity:    256 << 20,
+		Capacity:    capacity,
 		MaxDuration: 30 * 24 * time.Hour,
 	}
 	e.reg.Register(info)

@@ -43,6 +43,11 @@ type MaintainReport struct {
 	TrimmedDead   int // mappings dropped because their depot no longer has them
 	AddedReplicas int // repair copies uploaded
 	MinCoverage   int // worst-extent coverage after the pass
+	Events        []MaintainEvent
+}
+
+func (r *MaintainReport) event(action, format string, args ...any) {
+	r.Events = append(r.Events, MaintainEvent{Action: action, Detail: fmt.Sprintf(format, args...)})
 }
 
 // Maintain runs one maintenance pass and returns the (possibly new)
@@ -77,6 +82,9 @@ func (t *Tools) Maintain(x *exnode.ExNode, opts MaintainOptions) (*exnode.ExNode
 		n, err := t.Refresh(x, opts.RefreshTo)
 		if err != nil {
 			t.logf("core: maintain: refresh: %v", err)
+			rep.event("refresh", "extended %d allocations to %v (partial: %v)", n, opts.RefreshTo, err)
+		} else {
+			rep.event("refresh", "extended %d allocations to %v", n, opts.RefreshTo)
 		}
 		rep.Refreshed = n
 	}
@@ -96,6 +104,11 @@ func (t *Tools) Maintain(x *exnode.ExNode, opts MaintainOptions) (*exnode.ExNode
 		}
 	}
 	if len(deadIdx) > 0 {
+		for _, i := range deadIdx {
+			m := x.Mappings[i]
+			rep.event("trim", "mapping [%d,%d) on %s (%s): allocation gone",
+				m.Offset, m.Offset+m.Length, m.Depot, m.Manage.Addr)
+		}
 		trimmed, err := t.Trim(out, TrimOptions{Indices: deadIdx})
 		if err != nil {
 			return nil, rep, fmt.Errorf("core: maintain: trim: %w", err)
@@ -109,6 +122,7 @@ func (t *Tools) Maintain(x *exnode.ExNode, opts MaintainOptions) (*exnode.ExNode
 	coverage := t.worstCoverage(out)
 	if coverage < opts.MinCoverage {
 		add := opts.MinCoverage - coverage
+		rep.event("repair", "coverage %d below floor %d: adding %d replica(s)", coverage, opts.MinCoverage, add)
 		aug, err := t.Augment(out, AugmentOptions{
 			Replicas: add,
 			Near:     opts.Near,

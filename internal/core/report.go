@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Attempt is one depot interaction in a transfer timeline: which depot was
+// tried, when, for how long, and how it ended. Failed attempts stay in the
+// trail — the whole point is seeing the failovers, not just the winner.
+type Attempt struct {
+	Depot    string        // depot display name ("" when unknown)
+	Addr     string        // depot address ("" for coded recovery)
+	Start    time.Time     // when the attempt began
+	Duration time.Duration // how long it took to succeed or fail
+	Bytes    int64         // payload bytes moved (0 on failure)
+	Coded    bool          // served via parity/RS recovery, not a replica
+	Err      string        // "" on success
+}
+
+// OK reports whether the attempt succeeded.
+func (a Attempt) OK() bool { return a.Err == "" }
+
+// String renders one timeline line, e.g.
+//
+//	UTK1 (127.0.0.1:6714): ok, 1048576 B in 12ms
+//	UCSD1 (127.0.0.1:6715): FAILED after 3s: dial tcp: connection refused
+func (a Attempt) String() string {
+	who := a.Depot
+	if who == "" {
+		who = "?"
+	}
+	if a.Addr != "" {
+		who += " (" + a.Addr + ")"
+	}
+	if a.Coded {
+		who += " [coded]"
+	}
+	if a.OK() {
+		return fmt.Sprintf("%s: ok, %d B in %s", who, a.Bytes, a.Duration)
+	}
+	return fmt.Sprintf("%s: FAILED after %s: %s", who, a.Duration, a.Err)
+}
+
+// FragmentReport records how one fragment of an upload was placed,
+// including every depot tried along the way.
+type FragmentReport struct {
+	Replica    int
+	Start, End int64
+	Depot      string // depot that took it ("" on failure)
+	Addr       string
+	Trail      []Attempt // every placement attempt, failures included
+	Err        error     // non-nil when the fragment could not be placed
+}
+
+// UploadReport summarizes an upload for the harness and for `xnd --trace`.
+type UploadReport struct {
+	Fragments []FragmentReport
+	Duration  time.Duration
+	Bytes     int64
+	Failovers int // failed placement attempts across all fragments
+	Aborted   int // fragments never attempted because a sibling failed
+	Cleaned   int // stranded allocations deleted after an aborted upload
+}
+
+// OK reports whether every fragment was placed.
+func (r *UploadReport) OK() bool {
+	for _, f := range r.Fragments {
+		if f.Err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Timeline renders the per-fragment attempt trails, one indented block per
+// fragment.
+func (r *UploadReport) Timeline() string {
+	var sb strings.Builder
+	for _, f := range r.Fragments {
+		fmt.Fprintf(&sb, "replica %d fragment [%d,%d):\n", f.Replica, f.Start, f.End)
+		writeTrail(&sb, f.Trail, f.Err)
+	}
+	return sb.String()
+}
+
+// Timeline renders the per-extent attempt trails of a download report.
+func (r *Report) Timeline() string {
+	var sb strings.Builder
+	for _, e := range r.Extents {
+		fmt.Fprintf(&sb, "extent [%d,%d):\n", e.Start, e.End)
+		writeTrail(&sb, e.Trail, e.Err)
+	}
+	return sb.String()
+}
+
+func writeTrail(sb *strings.Builder, trail []Attempt, err error) {
+	if len(trail) == 0 {
+		if err != nil {
+			fmt.Fprintf(sb, "  (not attempted): %v\n", err)
+		}
+		return
+	}
+	for _, a := range trail {
+		fmt.Fprintf(sb, "  %s\n", a.String())
+	}
+}
+
+// MaintainEvent is one action taken by a maintenance pass.
+type MaintainEvent struct {
+	Action string // "refresh", "trim", "repair"
+	Detail string
+}
+
+func (e MaintainEvent) String() string { return e.Action + ": " + e.Detail }

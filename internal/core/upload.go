@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/exnode"
@@ -48,7 +49,17 @@ type UploadOptions struct {
 	// PlacementRotate; PlacementSiteDiverse spreads copies of each byte
 	// range across sites).
 	Placement Placement
+	// Report, when non-nil, is filled with the per-fragment placement
+	// timeline (every depot tried, failures included) — the upload-side
+	// counterpart of the download Report. It is written even when Upload
+	// fails, so callers can see how far the upload got.
+	Report *UploadReport
 }
+
+// ErrUploadAborted marks fragments that were never attempted because a
+// sibling fragment already failed: the first real error aborts the upload
+// and is what Upload returns.
+var ErrUploadAborted = errors.New("core: upload aborted after sibling fragment failed")
 
 func (o *UploadOptions) fragmentsFor(replica int) int {
 	if o.FragmentsPerReplica != nil && replica < len(o.FragmentsPerReplica) {
@@ -115,25 +126,76 @@ func (t *Tools) Upload(name string, data []byte, opts UploadOptions) (*exnode.Ex
 		}
 	}
 	candidates := planPlacements(jobs, depots, opts.Placement)
-	place := func(i int) (*exnode.Mapping, error) {
-		jb := jobs[i]
-		var m *exnode.Mapping
-		var lastErr error
-		for _, depot := range t.preferHealthy(candidates[i]) {
-			m, lastErr = t.uploadFragment(name, data, jb.ext, depot, jb.replica, opts)
-			if lastErr == nil {
-				return m, nil
-			}
-			t.logf("core: upload %q fragment [%d,%d): %v; trying next depot",
-				name, jb.ext.Start, jb.ext.End, lastErr)
+	rep := opts.Report
+	if rep == nil {
+		rep = &UploadReport{}
+	}
+	t0 := t.clock().Now()
+	rep.Fragments = make([]FragmentReport, len(jobs))
+	for i, jb := range jobs {
+		rep.Fragments[i] = FragmentReport{Replica: jb.replica, Start: jb.ext.Start, End: jb.ext.End}
+	}
+
+	// First-error abort: once any fragment exhausts its candidates, siblings
+	// stop starting new placement attempts — there is no point filling
+	// depots with fragments of an upload that cannot complete.
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	aborted := func() bool {
+		select {
+		case <-abort:
+			return true
+		default:
+			return false
 		}
-		return nil, lastErr
 	}
 	results := make([]*exnode.Mapping, len(jobs))
 	errs := make([]error, len(jobs))
+	place := func(i int) (*exnode.Mapping, error) {
+		jb := jobs[i]
+		fr := &rep.Fragments[i]
+		var lastErr error
+		for _, depot := range t.preferHealthy(candidates[i]) {
+			if aborted() {
+				if lastErr == nil {
+					lastErr = ErrUploadAborted
+				}
+				return nil, lastErr
+			}
+			a0 := t.clock().Now()
+			m, err := t.uploadFragment(name, data, jb.ext, depot, jb.replica, opts)
+			a := Attempt{Depot: depot.Name, Addr: depot.Addr, Start: a0, Duration: t.clock().Since(a0)}
+			if err == nil {
+				a.Bytes = jb.ext.Len()
+				fr.Trail = append(fr.Trail, a)
+				fr.Depot = depot.Name
+				fr.Addr = depot.Addr
+				return m, nil
+			}
+			a.Err = err.Error()
+			fr.Trail = append(fr.Trail, a)
+			lastErr = err
+			t.logf("core: upload %q fragment [%d,%d): %v; trying next depot",
+				name, jb.ext.Start, jb.ext.End, err)
+		}
+		if lastErr == nil {
+			lastErr = errors.New("core: no candidate depots for fragment")
+		}
+		return nil, lastErr
+	}
+	run := func(i int) {
+		if aborted() {
+			errs[i] = ErrUploadAborted
+			return
+		}
+		results[i], errs[i] = place(i)
+		if errs[i] != nil && !errors.Is(errs[i], ErrUploadAborted) {
+			abortOnce.Do(func() { close(abort) })
+		}
+	}
 	if opts.Parallelism <= 1 {
 		for i := range jobs {
-			results[i], errs[i] = place(i)
+			run(i)
 		}
 	} else {
 		idx := make(chan int)
@@ -141,7 +203,7 @@ func (t *Tools) Upload(name string, data []byte, opts UploadOptions) (*exnode.Ex
 		for w := 0; w < opts.Parallelism; w++ {
 			go func() {
 				for i := range idx {
-					results[i], errs[i] = place(i)
+					run(i)
 				}
 				done <- struct{}{}
 			}()
@@ -154,12 +216,55 @@ func (t *Tools) Upload(name string, data []byte, opts UploadOptions) (*exnode.Ex
 			<-done
 		}
 	}
+
+	var firstErr error
 	for i, err := range errs {
-		if err != nil {
-			return nil, err
+		rep.Fragments[i].Err = err
+		if err != nil && firstErr == nil && !errors.Is(err, ErrUploadAborted) {
+			firstErr = err
 		}
+		if err != nil {
+			if errors.Is(err, ErrUploadAborted) && len(rep.Fragments[i].Trail) == 0 {
+				rep.Aborted++
+			} else {
+				rep.Failovers += len(rep.Fragments[i].Trail)
+			}
+		} else {
+			rep.Failovers += len(rep.Fragments[i].Trail) - 1
+		}
+	}
+	if firstErr == nil {
+		// All placement errors were abort markers — should not happen, but
+		// never return nil with a failed upload.
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		// The upload failed: reclaim every allocation that did succeed so
+		// depots are not left holding fragments nothing references.
+		for _, m := range results {
+			if m == nil {
+				continue
+			}
+			if _, err := t.IBP.Delete(m.Manage); err != nil {
+				t.logf("core: upload %q: cleanup of %s: %v", name, m.Manage.Addr, err)
+			} else {
+				rep.Cleaned++
+			}
+		}
+		rep.Duration = t.clock().Since(t0)
+		rep.Bytes = int64(len(data))
+		return nil, firstErr
+	}
+	for i := range jobs {
 		x.Add(results[i])
 	}
+	rep.Duration = t.clock().Since(t0)
+	rep.Bytes = int64(len(data))
 	if err := x.Validate(); err != nil {
 		return nil, err
 	}

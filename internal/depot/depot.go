@@ -788,3 +788,24 @@ func (d *Depot) UsedBytes() int64 {
 	defer d.mu.Unlock()
 	return d.used
 }
+
+// Capacity reports the total bytes the depot serves.
+func (d *Depot) Capacity() int64 { return d.cfg.Capacity }
+
+// NextExpiry returns the earliest allocation expiration, or false when the
+// depot holds no allocations.
+func (d *Depot) NextExpiry() (time.Time, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var earliest time.Time
+	found := false
+	for _, a := range d.allocs {
+		a.mu.Lock()
+		exp := a.expires
+		a.mu.Unlock()
+		if !found || exp.Before(earliest) {
+			earliest, found = exp, true
+		}
+	}
+	return earliest, found
+}

@@ -1,0 +1,77 @@
+package depot
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// The depot's scrape surface: /metrics in Prometheus text format and a
+// /healthz liveness probe. The handlers read live state per request, so a
+// scraper sees current gauges, not a snapshot from startup.
+
+// PromMetrics renders the depot's operation counters and allocation/expiry
+// gauges as Prometheus samples.
+func (d *Depot) PromMetrics() []obs.Metric {
+	s := d.metrics.Snapshot()
+	var ms []obs.Metric
+	counter := func(name, help string, v int64) {
+		ms = append(ms, obs.Metric{Name: name, Help: help, Type: "counter", Value: float64(v)})
+	}
+	gauge := func(name, help string, v float64) {
+		ms = append(ms, obs.Metric{Name: name, Help: help, Type: "gauge", Value: v})
+	}
+	opCount := func(verb string, v int64) {
+		ms = append(ms, obs.Metric{
+			Name: "ibp_depot_ops_total", Help: "Operations served, by verb.", Type: "counter",
+			Value: float64(v), Labels: []obs.Label{{Name: "verb", Value: verb}},
+		})
+	}
+	opCount("allocate", s.Allocates)
+	opCount("store", s.Stores)
+	opCount("load", s.Loads)
+	opCount("probe", s.Probes)
+	opCount("extend", s.Extends)
+	opCount("delete", s.Deletes)
+	counter("ibp_depot_bytes_in_total", "Payload bytes stored.", s.BytesIn)
+	counter("ibp_depot_bytes_out_total", "Payload bytes served.", s.BytesOut)
+	counter("ibp_depot_errors_total", "Requests answered with ERR.", s.Errors)
+	counter("ibp_depot_cap_violations_total", "Capability verification failures.", s.Violations)
+	counter("ibp_depot_reaped_total", "Allocations reclaimed by expiry.", s.Reaped)
+	counter("ibp_depot_connects_total", "Connections accepted.", s.Connects)
+	counter("ibp_depot_restores_total", "Allocations restored at startup.", s.Restores)
+
+	gauge("ibp_depot_allocations", "Live allocations.", float64(d.AllocationCount()))
+	gauge("ibp_depot_used_bytes", "Committed capacity in bytes.", float64(d.UsedBytes()))
+	gauge("ibp_depot_capacity_bytes", "Total capacity in bytes.", float64(d.Capacity()))
+	nextExpiry := 0.0
+	if exp, ok := d.NextExpiry(); ok {
+		if until := exp.Sub(d.clock.Now()); until > 0 {
+			nextExpiry = until.Seconds()
+		}
+	}
+	gauge("ibp_depot_next_expiry_seconds", "Seconds until the earliest allocation expires (0 = none pending).", nextExpiry)
+	return ms
+}
+
+// healthy reports whether the depot is still serving.
+func (d *Depot) healthy() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errors.New("depot closed")
+	}
+	return nil
+}
+
+// ObsMux returns an HTTP mux serving GET /metrics (Prometheus text
+// format) and GET /healthz. The caller owns the listener:
+//
+//	go http.ListenAndServe(metricsAddr, d.ObsMux())
+func (d *Depot) ObsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(d.PromMetrics))
+	mux.Handle("/healthz", obs.HealthzHandler(d.healthy))
+	return mux
+}

@@ -1,0 +1,104 @@
+package depot
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ibp"
+)
+
+// TestMetricsEndpoint drives real traffic through a depot and scrapes the
+// /metrics endpoint — the acceptance path for the observability layer:
+// bytes in/out, per-verb op counters, and the live allocation gauge must
+// all appear in the exposition body.
+func TestMetricsEndpoint(t *testing.T) {
+	d, c := newDepot(t, Config{})
+	set, err := c.Allocate(d.Addr(), 1<<20, time.Hour, ibp.Hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("observable bytes")
+	if _, err := c.Store(set.Write, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(set.Read, 0, int64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(d.ObsMux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body := readAll(t, resp.Body)
+
+	for _, want := range []string{
+		`ibp_depot_ops_total{verb="allocate"} 1`,
+		`ibp_depot_ops_total{verb="store"} 1`,
+		`ibp_depot_ops_total{verb="load"} 1`,
+		"ibp_depot_bytes_in_total 16",
+		"ibp_depot_bytes_out_total 16",
+		"ibp_depot_allocations 1",
+		"ibp_depot_capacity_bytes 67108864",
+		"# TYPE ibp_depot_ops_total counter",
+		"# TYPE ibp_depot_allocations gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body missing %q\n%s", want, body)
+		}
+	}
+	// The hour-long allocation must show up as a pending expiry.
+	if strings.Contains(body, "ibp_depot_next_expiry_seconds 0\n") {
+		t.Errorf("next_expiry_seconds = 0 with a live allocation\n%s", body)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	d, _ := newDepot(t, Config{})
+	srv := httptest.NewServer(d.ObsMux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while serving = %d, want 200", resp.StatusCode)
+	}
+
+	d.Close()
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after close = %d, want 503", resp.StatusCode)
+	}
+}
+
+func readAll(t *testing.T, r interface{ Read([]byte) (int, error) }) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package depot
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ibp"
+)
+
+// TestMetricsConcurrentHammer drives stores, loads, and METRICS reads from
+// many goroutines at once. Run under -race (the Makefile does) it proves
+// the counter plumbing — handler increments, handleMetrics snapshots, and
+// the HTTP exposition — is data-race free, and the final snapshot must add
+// up exactly.
+func TestMetricsConcurrentHammer(t *testing.T) {
+	d, c := newDepot(t, Config{})
+	const (
+		workers = 8
+		rounds  = 20
+	)
+	payload := []byte("hammer-payload-32-bytes-exactly!")
+
+	errs := make(chan error, workers+2)
+	var traffic sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		traffic.Add(1)
+		go func(w int) {
+			defer traffic.Done()
+			for r := 0; r < rounds; r++ {
+				set, err := c.Allocate(d.Addr(), int64(len(payload)), time.Hour, ibp.Hard)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d allocate: %w", w, err)
+					return
+				}
+				if _, err := c.Store(set.Write, payload); err != nil {
+					errs <- fmt.Errorf("worker %d store: %w", w, err)
+					return
+				}
+				if _, err := c.Load(set.Read, 0, int64(len(payload))); err != nil {
+					errs <- fmt.Errorf("worker %d load: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent scrapers race the traffic: the wire METRICS verb and the
+	// Prometheus exposition snapshot.
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Metrics(d.Addr()); err != nil {
+					errs <- fmt.Errorf("metrics scrape: %w", err)
+					return
+				}
+				d.PromMetrics()
+			}
+		}()
+	}
+	traffic.Wait()
+	close(stop)
+	scrapers.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	want := int64(workers * rounds)
+	s := d.Metrics().Snapshot()
+	if s.Allocates != want || s.Stores != want || s.Loads != want {
+		t.Fatalf("counters allocates=%d stores=%d loads=%d, want %d each", s.Allocates, s.Stores, s.Loads, want)
+	}
+	if s.BytesIn != want*int64(len(payload)) || s.BytesOut != want*int64(len(payload)) {
+		t.Fatalf("bytes in=%d out=%d, want %d", s.BytesIn, s.BytesOut, want*int64(len(payload)))
+	}
+	if got := d.AllocationCount(); int64(got) != want {
+		t.Fatalf("allocations = %d, want %d", got, want)
+	}
+}
+
+// TestErrorsCounterOnBadCapability: a structurally valid capability for a
+// key the depot never allocated must bump Errors (the request was answered
+// with ERR) but not Violations (the HMAC was not even checkable — there is
+// no allocation to check against).
+func TestErrorsCounterOnBadCapability(t *testing.T) {
+	d, c := newDepot(t, Config{})
+	bogus := ibp.MintCap([]byte("some-other-secret"), d.Advertised(), "nonexistent-key", ibp.CapRead)
+	if _, err := c.Load(bogus, 0, 10); err == nil {
+		t.Fatal("load with an unknown key should fail")
+	}
+	s := d.Metrics().Snapshot()
+	if s.Errors == 0 {
+		t.Fatalf("Errors = 0 after a rejected request; snapshot %+v", s)
+	}
+}
+
+// TestViolationsCounterOnForgedCapability: a capability for a real
+// allocation but minted under the wrong secret fails HMAC verification and
+// must bump both Violations and Errors.
+func TestViolationsCounterOnForgedCapability(t *testing.T) {
+	d, c := newDepot(t, Config{})
+	set, err := c.Allocate(d.Addr(), 100, time.Hour, ibp.Hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same depot, same key, wrong signing secret: a forgery.
+	forged := ibp.MintCap([]byte("attacker-secret"), set.Read.Addr, set.Read.Key, ibp.CapRead)
+	if _, err := c.Load(forged, 0, 10); err == nil {
+		t.Fatal("load with a forged capability should fail")
+	}
+	s := d.Metrics().Snapshot()
+	if s.Violations != 1 {
+		t.Fatalf("Violations = %d, want 1; snapshot %+v", s.Violations, s)
+	}
+	if s.Errors == 0 {
+		t.Fatalf("Errors = 0 after a forged capability; snapshot %+v", s)
+	}
+	// The legitimate capability still works.
+	if _, err := c.Store(set.Write, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/health"
 	"repro/internal/netx"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 	"repro/internal/wire"
 )
@@ -22,6 +23,7 @@ type Client struct {
 	opTimeout   time.Duration
 	pool        *connPool
 	health      *health.Scoreboard
+	obs         obs.Observer
 }
 
 // Option configures a Client.
@@ -49,6 +51,15 @@ func WithHealth(sb *health.Scoreboard) Option { return func(c *Client) { c.healt
 
 // Health returns the attached scoreboard, or nil.
 func (c *Client) Health() *health.Scoreboard { return c.health }
+
+// WithObserver attaches an operation-event sink: every IBP operation emits
+// one obs.Event (verb, depot, bytes, latency, outcome, pool-reuse/retry
+// flags) as it completes. Use an obs.Collector to keep recent events and
+// per-depot/per-verb aggregates.
+func WithObserver(o obs.Observer) Option { return func(c *Client) { c.obs = o } }
+
+// Observer returns the attached event sink, or nil.
+func (c *Client) Observer() obs.Observer { return c.obs }
 
 // NewClient builds a client with the given options.
 func NewClient(opts ...Option) *Client {
@@ -79,8 +90,12 @@ func (c *Client) dialFresh(addr string) (*wire.Conn, error) {
 }
 
 // applyDeadline refreshes the operation deadline on a pooled connection.
+// It must go through netx.SetOpDeadline with the client's own clock: on a
+// simulated link the deadline that matters is the virtual one, and a plain
+// wall-clock SetDeadline would silently ignore WithClock on every
+// pool-reuse path.
 func (c *Client) applyDeadline(conn *wire.Conn) error {
-	return conn.SetDeadline(timeNowPlus(c.opTimeout))
+	return netx.SetOpDeadline(conn.NetConn(), c.clock.Now(), c.opTimeout)
 }
 
 // withConn runs one protocol exchange on a pooled or fresh connection,
@@ -88,40 +103,63 @@ func (c *Client) applyDeadline(conn *wire.Conn) error {
 // op must be safe to re-run from scratch (all client exchanges are: they
 // buffer their own output). With a scoreboard attached, the depot's
 // circuit breaker is consulted first and the exchange's final outcome is
-// reported back.
-func (c *Client) withConn(addr string, retryable bool, op func(conn *wire.Conn) error) error {
+// reported back. With an observer attached, one event is emitted per
+// operation; bytes is the payload size credited to a successful exchange.
+func (c *Client) withConn(verb, addr string, bytes int64, retryable bool, op func(conn *wire.Conn) error) error {
+	start := c.clock.Now()
 	if c.health != nil {
 		if err := c.health.Allow(addr); err != nil {
+			if c.obs != nil {
+				c.obs.Record(obs.Event{
+					Time: start, Verb: verb, Depot: addr,
+					Outcome: "circuit-open", Err: err.Error(),
+				})
+			}
 			return err
 		}
 	}
-	start := c.clock.Now()
-	err := c.exchange(addr, retryable, op)
+	reused, retried, err := c.exchange(addr, retryable, op)
+	elapsed := c.clock.Since(start)
 	if c.health != nil {
-		c.health.Report(addr, health.Classify(err), c.clock.Since(start))
+		c.health.Report(addr, health.Classify(err), elapsed)
+	}
+	if c.obs != nil {
+		ev := obs.Event{
+			Time: start, Verb: verb, Depot: addr, Latency: elapsed,
+			Outcome: health.Classify(err).String(),
+			Reused:  reused, Retried: retried,
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		} else {
+			ev.Bytes = bytes
+		}
+		c.obs.Record(ev)
 	}
 	return err
 }
 
-// exchange is withConn without the health bookkeeping.
-func (c *Client) exchange(addr string, retryable bool, op func(conn *wire.Conn) error) error {
+// exchange is withConn without the health or event bookkeeping. It reports
+// whether the exchange ran on a pooled connection and whether it was
+// retried on a fresh dial.
+func (c *Client) exchange(addr string, retryable bool, op func(conn *wire.Conn) error) (reused, retried bool, err error) {
 	conn, reused, err := c.acquire(addr)
 	if err != nil {
-		return err
+		return reused, false, err
 	}
 	err = op(conn)
 	if err != nil && reused && retryable && isConnReuseError(err) {
 		conn.Close()
 		fresh, derr := c.dialFresh(addr)
 		if derr != nil {
-			return err
+			return reused, false, err
 		}
 		err = op(fresh)
 		c.release(addr, fresh, err)
-		return err
+		return reused, true, err
 	}
 	c.release(addr, conn, err)
-	return err
+	return reused, false, err
 }
 
 // Allocate requests a byte array of up to maxSize bytes for duration on the
@@ -134,7 +172,7 @@ func (c *Client) Allocate(addr string, maxSize int64, duration time.Duration, re
 		return CapSet{}, fmt.Errorf("ibp: bad reliability %q", rel)
 	}
 	var set CapSet
-	err := c.withConn(addr, false, func(conn *wire.Conn) error {
+	err := c.withConn(OpAllocate, addr, 0, false, func(conn *wire.Conn) error {
 		err := conn.WriteLine(OpAllocate, wire.Itoa(maxSize), wire.Itoa(int64(duration.Seconds())), string(rel))
 		if err != nil {
 			return err
@@ -173,7 +211,7 @@ func (c *Client) Store(w Cap, data []byte) (int64, error) {
 	var newLen int64
 	// Store is append-only and therefore NOT idempotent: never retry it
 	// on a stale pooled connection.
-	err := c.withConn(w.Addr, false, func(conn *wire.Conn) error {
+	err := c.withConn(OpStore, w.Addr, int64(len(data)), false, func(conn *wire.Conn) error {
 		if err := conn.WriteLine(OpStore, w.Token(), wire.Itoa(int64(len(data)))); err != nil {
 			return err
 		}
@@ -227,7 +265,7 @@ func (c *Client) load(r Cap, offset, length int64, retryable bool, consume func(
 	if offset < 0 || length < 0 {
 		return fmt.Errorf("ibp: load: negative offset or length")
 	}
-	return c.withConn(r.Addr, retryable, func(conn *wire.Conn) error {
+	return c.withConn(OpLoad, r.Addr, length, retryable, func(conn *wire.Conn) error {
 		if err := conn.WriteLine(OpLoad, r.Token(), wire.Itoa(offset), wire.Itoa(length)); err != nil {
 			return err
 		}
@@ -256,7 +294,7 @@ func (c *Client) Probe(m Cap) (AllocInfo, error) {
 		return AllocInfo{}, fmt.Errorf("ibp: probe requires a MANAGE capability, got %s", m.Type)
 	}
 	var info AllocInfo
-	err := c.withConn(m.Addr, true, func(conn *wire.Conn) error {
+	err := c.withConn(OpProbe, m.Addr, 0, true, func(conn *wire.Conn) error {
 		if err := conn.WriteLine(OpProbe, m.Token()); err != nil {
 			return err
 		}
@@ -299,7 +337,7 @@ func (c *Client) Extend(m Cap, duration time.Duration) (time.Time, error) {
 		return time.Time{}, fmt.Errorf("ibp: extend requires a MANAGE capability, got %s", m.Type)
 	}
 	var out time.Time
-	err := c.withConn(m.Addr, true, func(conn *wire.Conn) error {
+	err := c.withConn(OpExtend, m.Addr, 0, true, func(conn *wire.Conn) error {
 		if err := conn.WriteLine(OpExtend, m.Token(), wire.Itoa(int64(duration.Seconds()))); err != nil {
 			return err
 		}
@@ -328,7 +366,7 @@ func (c *Client) Delete(m Cap) (int, error) {
 	}
 	var ref int64
 	// Delete decrements a refcount: not idempotent, never retried.
-	err := c.withConn(m.Addr, false, func(conn *wire.Conn) error {
+	err := c.withConn(OpDelete, m.Addr, 0, false, func(conn *wire.Conn) error {
 		if err := conn.WriteLine(OpDelete, m.Token()); err != nil {
 			return err
 		}
@@ -361,7 +399,7 @@ func (c *Client) Copy(src Cap, offset, length int64, dst Cap) (int64, error) {
 	}
 	var newLen int64
 	// Copy appends at the destination: not idempotent, never retried.
-	err := c.withConn(src.Addr, false, func(conn *wire.Conn) error {
+	err := c.withConn(OpCopy, src.Addr, length, false, func(conn *wire.Conn) error {
 		err := conn.WriteLine(OpCopy, src.Token(), wire.Itoa(offset), wire.Itoa(length), dst.String())
 		if err != nil {
 			return err
@@ -399,7 +437,7 @@ func (c *Client) MCopy(src Cap, offset, length int64, dsts []Cap) ([]int64, erro
 		toks = append(toks, d.String())
 	}
 	var out []int64
-	err := c.withConn(src.Addr, false, func(conn *wire.Conn) error {
+	err := c.withConn(OpMCopy, src.Addr, length*int64(len(dsts)), false, func(conn *wire.Conn) error {
 		if err := conn.WriteLine(toks...); err != nil {
 			return err
 		}
@@ -434,7 +472,7 @@ type DepotMetrics struct {
 // Metrics fetches the operation counters of the depot at addr.
 func (c *Client) Metrics(addr string) (DepotMetrics, error) {
 	var m DepotMetrics
-	err := c.withConn(addr, true, func(conn *wire.Conn) error {
+	err := c.withConn("METRICS", addr, 0, true, func(conn *wire.Conn) error {
 		if err := conn.WriteLine("METRICS"); err != nil {
 			return err
 		}
@@ -465,7 +503,7 @@ func (c *Client) Metrics(addr string) (DepotMetrics, error) {
 // Status asks the depot at addr for its capacity and duration limits.
 func (c *Client) Status(addr string) (DepotStatus, error) {
 	var st DepotStatus
-	err := c.withConn(addr, true, func(conn *wire.Conn) error {
+	err := c.withConn(OpStatus, addr, 0, true, func(conn *wire.Conn) error {
 		if err := conn.WriteLine(OpStatus); err != nil {
 			return err
 		}

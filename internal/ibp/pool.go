@@ -164,12 +164,3 @@ func isConnReuseError(err error) bool {
 		errors.Is(err, io.ErrUnexpectedEOF) ||
 		errors.Is(err, net.ErrClosed)
 }
-
-// timeNowPlus is the wall-clock deadline helper for pooled connections
-// (their virtual deadline, if any, was set at dial time by netx).
-func timeNowPlus(d time.Duration) time.Time {
-	if d <= 0 {
-		return time.Time{}
-	}
-	return time.Now().Add(d)
-}

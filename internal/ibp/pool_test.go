@@ -125,16 +125,6 @@ func TestIsConnReuseError(t *testing.T) {
 	}
 }
 
-func TestTimeNowPlus(t *testing.T) {
-	if !timeNowPlus(0).IsZero() {
-		t.Fatal("zero timeout should clear the deadline")
-	}
-	d := timeNowPlus(time.Minute)
-	if d.Before(time.Now()) {
-		t.Fatal("deadline should be in the future")
-	}
-}
-
 func TestClientCloseWithoutPoolIsNoop(t *testing.T) {
 	c := NewClient()
 	if err := c.Close(); err != nil {

@@ -1,0 +1,61 @@
+package lbone
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// The L-Bone's scrape surface: /metrics in Prometheus text format and a
+// /healthz liveness probe, mirroring the depot's (see internal/depot).
+
+// PromMetrics renders the server's resolution counters and registry gauges
+// as Prometheus samples.
+func (s *Server) PromMetrics() []obs.Metric {
+	st := s.stats.Snapshot()
+	s.mu.Lock()
+	total := s.reg.Len()
+	live := s.reg.LiveLen()
+	s.mu.Unlock()
+
+	var ms []obs.Metric
+	counter := func(name, help string, v int64) {
+		ms = append(ms, obs.Metric{Name: name, Help: help, Type: "counter", Value: float64(v)})
+	}
+	gauge := func(name, help string, v float64) {
+		ms = append(ms, obs.Metric{Name: name, Help: help, Type: "gauge", Value: v})
+	}
+	counter("lbone_connects_total", "Connections accepted.", st.Connects)
+	counter("lbone_registers_total", "REGISTER requests.", st.Registers)
+	counter("lbone_heartbeats_total", "HEARTBEAT requests.", st.Heartbeats)
+	counter("lbone_deregisters_total", "DEREGISTER requests.", st.Deregisters)
+	counter("lbone_queries_total", "QUERY and LIST resolutions.", st.Queries)
+	counter("lbone_depots_returned_total", "Depot entries served across all resolutions.", st.DepotsReturned)
+	counter("lbone_bad_requests_total", "Malformed or unknown requests.", st.BadRequests)
+
+	gauge("lbone_depots_registered", "Registered depots (live or not).", float64(total))
+	gauge("lbone_depots_live", "Depots inside their liveness window.", float64(live))
+	return ms
+}
+
+// healthy reports whether the server is still accepting registrations.
+func (s *Server) healthy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("lbone server closed")
+	}
+	return nil
+}
+
+// ObsMux returns an HTTP mux serving GET /metrics (Prometheus text
+// format) and GET /healthz. The caller owns the listener:
+//
+//	go http.ListenAndServe(metricsAddr, s.ObsMux())
+func (s *Server) ObsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(s.PromMetrics))
+	mux.Handle("/healthz", obs.HealthzHandler(s.healthy))
+	return mux
+}

@@ -112,6 +112,17 @@ func (r *Registry) Query(req Requirements) []DepotInfo {
 // Len reports the number of registered depots (live or not).
 func (r *Registry) Len() int { return len(r.entries) }
 
+// LiveLen reports the number of depots inside their liveness window.
+func (r *Registry) LiveLen() int {
+	n := 0
+	for _, d := range r.entries {
+		if r.alive(d) {
+			n++
+		}
+	}
+	return n
+}
+
 func sortByName(ds []DepotInfo) {
 	for i := 1; i < len(ds); i++ {
 		for j := i; j > 0 && ds[j].Name < ds[j-1].Name; j-- {

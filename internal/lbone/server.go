@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -35,6 +36,37 @@ type ServerConfig struct {
 	Logger *log.Logger
 }
 
+// ServerStats counts registry traffic — the L-Bone side of the
+// observability layer (scraped via /metrics on cmd/lbone-server).
+type ServerStats struct {
+	Connects       atomic.Int64 // connections accepted
+	Registers      atomic.Int64 // REGISTER requests
+	Heartbeats     atomic.Int64 // HEARTBEAT requests
+	Deregisters    atomic.Int64 // DEREGISTER requests
+	Queries        atomic.Int64 // QUERY + LIST requests (resolutions)
+	DepotsReturned atomic.Int64 // depot entries served across all queries
+	BadRequests    atomic.Int64 // malformed or unknown requests
+}
+
+// StatsSnapshot is a plain-value copy for reporting.
+type StatsSnapshot struct {
+	Connects, Registers, Heartbeats, Deregisters int64
+	Queries, DepotsReturned, BadRequests         int64
+}
+
+// Snapshot copies the counters.
+func (s *ServerStats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Connects:       s.Connects.Load(),
+		Registers:      s.Registers.Load(),
+		Heartbeats:     s.Heartbeats.Load(),
+		Deregisters:    s.Deregisters.Load(),
+		Queries:        s.Queries.Load(),
+		DepotsReturned: s.DepotsReturned.Load(),
+		BadRequests:    s.BadRequests.Load(),
+	}
+}
+
 // Server is a running L-Bone registry daemon.
 type Server struct {
 	mu       sync.Mutex
@@ -44,7 +76,11 @@ type Server struct {
 	wg       sync.WaitGroup
 	shutdown chan struct{}
 	closed   bool
+	stats    ServerStats
 }
+
+// Stats returns the server's live traffic counters.
+func (s *Server) Stats() *ServerStats { return &s.stats }
 
 // ServeRegistry starts an L-Bone server on addr.
 func ServeRegistry(addr string, cfg ServerConfig) (*Server, error) {
@@ -124,6 +160,7 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serveConn(raw net.Conn) {
+	s.stats.Connects.Add(1)
 	conn := wire.NewConn(raw)
 	defer conn.Close()
 	for {
@@ -147,18 +184,24 @@ func (s *Server) dispatch(conn *wire.Conn, op string, args []string) bool {
 	var err error
 	switch op {
 	case opRegister:
+		s.stats.Registers.Add(1)
 		err = s.handleRegister(conn, args)
 	case opHeartbeat:
+		s.stats.Heartbeats.Add(1)
 		err = s.handleHeartbeat(conn, args)
 	case opDeregister:
+		s.stats.Deregisters.Add(1)
 		err = s.handleDeregister(conn, args)
 	case opQuery:
+		s.stats.Queries.Add(1)
 		err = s.handleQuery(conn, args)
 	case opList:
+		s.stats.Queries.Add(1)
 		err = s.handleQuery(conn, []string{"0", "0", "-", "0"})
 	case opQuit:
 		return false
 	default:
+		s.stats.BadRequests.Add(1)
 		err = conn.WriteErr(wire.CodeUnsupported, "unknown operation %s", op)
 	}
 	if err != nil {
@@ -254,6 +297,7 @@ func (s *Server) handleQuery(conn *wire.Conn, args []string) error {
 	s.mu.Lock()
 	res := s.reg.Query(req)
 	s.mu.Unlock()
+	s.stats.DepotsReturned.Add(int64(len(res)))
 
 	if err := conn.WriteOK(wire.Itoa(int64(len(res)))); err != nil {
 		return err

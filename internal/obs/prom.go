@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric is one sample in the Prometheus text exposition format (version
+// 0.0.4), which this package hand-rolls: the repo is standard-library only.
+type Metric struct {
+	Name   string
+	Help   string
+	Type   string // "counter" or "gauge"
+	Value  float64
+	Labels []Label
+}
+
+// Label is one name="value" pair on a metric sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// WriteMetrics renders samples in Prometheus text format. Samples sharing
+// a name are grouped under one # HELP / # TYPE header pair; the first
+// sample of each name supplies the header text.
+func WriteMetrics(b *strings.Builder, ms []Metric) {
+	byName := map[string][]Metric{}
+	var order []string
+	for _, m := range ms {
+		if _, ok := byName[m.Name]; !ok {
+			order = append(order, m.Name)
+		}
+		byName[m.Name] = append(byName[m.Name], m)
+	}
+	for _, name := range order {
+		group := byName[name]
+		if h := group[0].Help; h != "" {
+			fmt.Fprintf(b, "# HELP %s %s\n", name, h)
+		}
+		if t := group[0].Type; t != "" {
+			fmt.Fprintf(b, "# TYPE %s %s\n", name, t)
+		}
+		for _, m := range group {
+			b.WriteString(name)
+			if len(m.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range m.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					// %q yields exactly the exposition-format label
+					// escapes: backslash, quote, and \n.
+					fmt.Fprintf(b, "%s=%q", l.Name, l.Value)
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatValue(m.Value))
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// formatValue renders a float the way Prometheus expects: integers
+// without an exponent or trailing zeros.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ContentType is the exposition-format content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricsHandler serves collect() in Prometheus text format. collect runs
+// per request, so gauges are read live.
+func MetricsHandler(collect func() []Metric) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		WriteMetrics(&b, collect())
+		w.Header().Set("Content-Type", ContentType)
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, b.String())
+	})
+}
+
+// HealthzHandler answers 200 "ok" while check returns nil, 503 with the
+// error text otherwise. A nil check is always healthy.
+func HealthzHandler(check func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if check != nil {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "unhealthy: %v\n", err)
+				return
+			}
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// CollectorMetrics renders a Collector's aggregates as Prometheus samples
+// (client-side view: one series per depot+verb).
+func (c *Collector) CollectorMetrics(prefix string) []Metric {
+	rows := c.Snapshot()
+	var ms []Metric
+	add := func(name, help, typ string, v float64, depot, verb string) {
+		ms = append(ms, Metric{
+			Name: prefix + name, Help: help, Type: typ, Value: v,
+			Labels: []Label{{"depot", depot}, {"verb", verb}},
+		})
+	}
+	for _, r := range rows {
+		add("ops_total", "IBP operations issued.", "counter", float64(r.Count), r.Depot, r.Verb)
+		add("op_errors_total", "IBP operations that failed.", "counter", float64(r.Errors), r.Depot, r.Verb)
+		add("op_bytes_total", "Payload bytes moved by successful operations.", "counter", float64(r.Bytes), r.Depot, r.Verb)
+		add("op_conn_reuse_total", "Operations served on a pooled connection.", "counter", float64(r.Reused), r.Depot, r.Verb)
+		add("op_latency_seconds_p95", "95th-percentile operation latency over the retained window.", "gauge", r.Latency.P95, r.Depot, r.Verb)
+	}
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	return ms
+}

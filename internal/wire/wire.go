@@ -56,6 +56,11 @@ func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
 // RemoteAddr reports the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
 
+// NetConn exposes the underlying network connection, so deadline helpers
+// that type-assert for richer conn capabilities (netx.VirtualDeadliner on
+// simulated links) work on framed connections too.
+func (c *Conn) NetConn() net.Conn { return c.raw }
+
 // WriteLine writes tokens joined by single spaces and terminated by '\n',
 // then flushes. Tokens must not contain spaces or newlines; use Quote for
 // free-form text fields.
