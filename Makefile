@@ -26,11 +26,18 @@ test:
 
 race:
 	go test -race repro/internal/core repro/internal/ibp repro/internal/health \
-		repro/internal/depot repro/internal/lbone repro/internal/obs
+		repro/internal/depot repro/internal/lbone repro/internal/obs \
+		repro/internal/transfer repro/internal/faultnet
 
 # End-to-end transfer benchmarks → BENCH_upload_download.json
-# (ns/op and MB/s per bench; raw bench log stays on stderr).
+# (ns/op and MB/s per bench; raw bench log stays on stderr), plus the
+# hedged-vs-unhedged slow-depot comparison → BENCH_transfer.json
+# (simulated p50/p99 seconds per download with and without hedging; a
+# fixed iteration count keeps the percentiles comparable across runs).
 bench:
 	go test -run '^$$' -bench 'BenchmarkUploadDownload|BenchmarkIBPRoundTrip' -benchmem . \
 		| go run ./cmd/benchjson > BENCH_upload_download.json
 	@echo "wrote BENCH_upload_download.json"
+	go test -run '^$$' -bench 'BenchmarkTransferSlowDepot' -benchtime 20x . \
+		| go run ./cmd/benchjson > BENCH_transfer.json
+	@echo "wrote BENCH_transfer.json"

@@ -29,6 +29,8 @@ import (
 	"repro/internal/lbone"
 	"repro/internal/nws"
 	"repro/internal/sealing"
+	"repro/internal/stats"
+	"repro/internal/transfer"
 	"repro/internal/vclock"
 )
 
@@ -571,6 +573,89 @@ func BenchmarkDownloadStrategy(b *testing.B) {
 				virtual += rep.Duration
 			}
 			b.ReportMetric(virtual.Seconds()/float64(b.N), "vsec/dl")
+		})
+	}
+}
+
+// A-hedge: hedged reads against a slow (not dead) depot — the tail-latency
+// failure mode plain failover cannot fix, because the preferred depot keeps
+// answering, just slowly. The statically-preferred near depot crawls at
+// 0.1 Mbps while a farther replica runs at 100 Mbps; hedging fires a backup
+// against the fast replica 150ms (virtual) into each slow fetch. Reports
+// simulated p50/p99 seconds per download for the unhedged and hedged
+// engines (the BENCH_transfer.json payload).
+func BenchmarkTransferSlowDepot(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		hedge bool
+	}{
+		{"unhedged", false},
+		{"hedged", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			clk := vclock.NewVirtual(time.Date(2002, 1, 11, 0, 0, 0, 0, time.UTC))
+			model := faultnet.NewModel(clk, 7)
+			// Hedging races two live transfers: pace wall time so the race
+			// resolves by simulated speed, not syscall latency.
+			model.SetWallPacing(faultnet.DefaultWallPacing)
+			model.SetLocalLink(faultnet.Link{RTT: time.Millisecond, Mbps: 100})
+			model.SetLink(geo.Harvard.Name, geo.UNC.Name, faultnet.Link{RTT: 10 * time.Millisecond, Mbps: 0.1})
+			model.SetLink(geo.Harvard.Name, geo.UCSD.Name, faultnet.Link{RTT: 10 * time.Millisecond, Mbps: 100})
+			reg := lbone.NewRegistry(0, clk.Now)
+			var infos []lbone.DepotInfo
+			for i, site := range []geo.Site{geo.UNC, geo.UCSD} {
+				d, err := depot.Serve("127.0.0.1:0", depot.Config{
+					Secret: []byte(fmt.Sprintf("hedge-%d", i)), Capacity: 1 << 30, Clock: clk,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer d.Close()
+				model.AddDepot(d.Addr(), faultnet.DepotState{Site: site.Name})
+				info := lbone.DepotInfo{
+					Addr: d.Addr(), Name: site.Name, Site: site.Name,
+					Loc: site.Loc, Capacity: 1 << 30, MaxDuration: 240 * time.Hour,
+				}
+				reg.Register(info)
+				infos = append(infos, info)
+			}
+			tools := &core.Tools{
+				IBP: ibp.NewClient(
+					ibp.WithDialer(model.DialerFrom(geo.Harvard.Name)),
+					ibp.WithClock(clk),
+					ibp.WithDialTimeout(time.Second),
+				),
+				LBone: core.RegistrySource{Reg: reg},
+				Clock: clk,
+				Site:  geo.Harvard.Name,
+				Loc:   geo.Harvard.Loc,
+				Transfer: transfer.New(transfer.Config{
+					Hedge:      tc.hedge,
+					HedgeAfter: 150 * time.Millisecond,
+					Clock:      clk,
+				}),
+			}
+			data := bytes.Repeat([]byte{7}, 200<<10)
+			x, err := tools.Upload("hedge", data, core.UploadOptions{
+				Replicas: 2, Fragments: 4, Depots: infos,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			durs := make([]float64, 0, b.N)
+			b.SetBytes(200 << 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, rep, err := tools.Download(x, core.DownloadOptions{Strategy: core.StrategyStatic})
+				if err != nil {
+					b.Fatal(err)
+				}
+				durs = append(durs, rep.Duration.Seconds())
+			}
+			sum := stats.Summarize(durs)
+			b.ReportMetric(sum.Mean, "vsec/dl")
+			b.ReportMetric(sum.Median, "p50vs")
+			b.ReportMetric(sum.P99, "p99vs")
 		})
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	xnd upload  -lbone host:6767 -replicas 3 -fragments 4 -o file.xnd file.dat
 //	xnd download -o file.dat file.xnd
+//	xnd download -hedge -readahead 4 -o file.dat file.xnd
 //	xnd ls file.xnd
 //	xnd refresh -duration 240h file.xnd
 //	xnd augment -lbone host:6767 -near UCSD -o file2.xnd file.xnd
@@ -16,7 +17,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -31,6 +34,7 @@ import (
 	"repro/internal/nws"
 	"repro/internal/obs"
 	"repro/internal/sealing"
+	"repro/internal/transfer"
 )
 
 // traceOn enables the global --trace flag: every IBP operation is recorded
@@ -134,23 +138,31 @@ commands:
 
 // commonFlags holds flags shared by the tools.
 type commonFlags struct {
-	fs        *flag.FlagSet
-	lbone     *string
-	site      *string
-	timeout   *time.Duration
-	useNWS    *bool
-	nwsServer *string
+	fs          *flag.FlagSet
+	lbone       *string
+	site        *string
+	timeout     *time.Duration
+	useNWS      *bool
+	nwsServer   *string
+	hedge       *bool
+	hedgeAfter  *time.Duration
+	maxPerDepot *int
+	metricsAddr *string
 }
 
 func newFlags(name string) *commonFlags {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	return &commonFlags{
-		fs:        fs,
-		lbone:     fs.String("lbone", os.Getenv("XND_LBONE"), "L-Bone server address (or $XND_LBONE)"),
-		site:      fs.String("site", envOr("XND_SITE", "UTK"), "client site name for proximity/NWS (or $XND_SITE)"),
-		timeout:   fs.Duration("timeout", 30*time.Second, "per-operation timeout"),
-		useNWS:    fs.Bool("nws", true, "keep a local NWS to guide downloads"),
-		nwsServer: fs.String("nws-server", os.Getenv("XND_NWS"), "remote NWS daemon address (or $XND_NWS; overrides -nws)"),
+		fs:          fs,
+		lbone:       fs.String("lbone", os.Getenv("XND_LBONE"), "L-Bone server address (or $XND_LBONE)"),
+		site:        fs.String("site", envOr("XND_SITE", "UTK"), "client site name for proximity/NWS (or $XND_SITE)"),
+		timeout:     fs.Duration("timeout", 30*time.Second, "per-operation timeout"),
+		useNWS:      fs.Bool("nws", true, "keep a local NWS to guide downloads"),
+		nwsServer:   fs.String("nws-server", os.Getenv("XND_NWS"), "remote NWS daemon address (or $XND_NWS; overrides -nws)"),
+		hedge:       fs.Bool("hedge", false, "hedge slow extent fetches against the next-ranked replica"),
+		hedgeAfter:  fs.Duration("hedge-after", 0, "fixed hedging threshold (0 = adapt from the health scoreboard)"),
+		maxPerDepot: fs.Int("max-per-depot", 4, "concurrent operations allowed per depot"),
+		metricsAddr: fs.String("metrics-listen", "", "serve transfer-engine /metrics over HTTP on this address while the command runs (empty = off)"),
 	}
 }
 
@@ -190,6 +202,35 @@ func (c *commonFlags) tools() (*core.Tools, error) {
 		t.NWS = nws.NewRemote(*c.nwsServer)
 	case *c.useNWS:
 		t.NWS = nws.NewService(nil, 256)
+	}
+	// The transfer engine always runs (its per-depot limiter and coded
+	// singleflight are pure wins); -hedge additionally arms backup requests.
+	engCfg := transfer.Config{
+		Hedge:       *c.hedge,
+		HedgeAfter:  *c.hedgeAfter,
+		MaxPerDepot: *c.maxPerDepot,
+		Health:      sb,
+	}
+	if src := t.NWS; src != nil {
+		engCfg.Forecast = func(addr string) (float64, bool) {
+			return src.Forecast(site.Name, addr, nws.Bandwidth)
+		}
+	}
+	t.Transfer = transfer.New(engCfg)
+	if *c.metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.MetricsHandler(func() []obs.Metric {
+			ms := t.Transfer.Metrics("xnd_transfer_")
+			if traceCol != nil {
+				ms = append(ms, traceCol.CollectorMetrics("xnd_ibp_")...)
+			}
+			return ms
+		}))
+		go func() {
+			if err := http.ListenAndServe(*c.metricsAddr, mux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
 	}
 	return t, nil
 }
@@ -311,6 +352,7 @@ func cmdDownload(args []string) error {
 	offset := c.fs.Int64("offset", 0, "range start")
 	length := c.fs.Int64("length", -1, "range length (-1 = to end)")
 	parallel := c.fs.Int("parallel", 1, "concurrent extent fetchers")
+	readahead := c.fs.Int("readahead", 0, "stream the download, prefetching this many extents ahead (0 = whole-range download)")
 	strategy := c.fs.String("strategy", "auto", "depot ranking: auto|nws|static|random")
 	pass := c.fs.String("decrypt-pass", "", "passphrase for encrypted exnodes")
 	c.fs.Parse(args)
@@ -336,9 +378,15 @@ func cmdDownload(args []string) error {
 	dlOpts := core.DownloadOptions{
 		Strategy:    strat,
 		Parallelism: *parallel,
+		Readahead:   *readahead,
 	}
 	if *pass != "" {
 		dlOpts.DecryptionKey = sealing.DeriveKey(*pass)
+	}
+	if *readahead > 0 {
+		// Streaming mode: bytes flow to the output as extents arrive, with
+		// memory bounded at readahead+1 extents instead of the whole range.
+		return streamDownload(t, x, *offset, n, dlOpts, *out)
 	}
 	data, rep, err := t.DownloadRange(x, *offset, n, dlOpts)
 	if traceOn && rep != nil {
@@ -354,6 +402,35 @@ func cmdDownload(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// streamDownload copies a ranged download to its destination through the
+// streaming reader (xnd download -readahead N).
+func streamDownload(t *core.Tools, x *exnode.ExNode, offset, length int64, opts core.DownloadOptions, out string) error {
+	r, rep, err := t.OpenRangeReader(x, offset, length, opts)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	dst := io.Writer(os.Stdout)
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	_, err = io.Copy(dst, r)
+	if traceOn && rep != nil {
+		fmt.Fprint(os.Stderr, "--- download timeline ---\n", rep.Timeline())
+	}
+	if err != nil {
+		return err
+	}
+	log.Printf("streamed %d bytes in %v (%d extents, %d failovers)",
+		rep.Bytes, rep.Duration.Round(time.Millisecond), len(rep.Extents), rep.Failovers)
+	return nil
 }
 
 func parseStrategy(s string) (core.Strategy, error) {

@@ -162,7 +162,7 @@ func (t *Tools) recoverFromCoding(x *exnode.ExNode, ext exnode.Extent, dst []byt
 		if !(g.Offset <= ext.Start && ext.End <= g.Offset+g.Length) {
 			continue // group does not protect this extent
 		}
-		data, err := t.decodeGroup(ms, opts)
+		data, err := t.decodeGroupShared(ms, opts)
 		if err != nil {
 			lastErr = err
 			continue
@@ -174,6 +174,24 @@ func (t *Tools) recoverFromCoding(x *exnode.ExNode, ext exnode.Extent, dst []byt
 		lastErr = errors.New("core: no coding group covers the extent")
 	}
 	return "", lastErr
+}
+
+// decodeGroupShared collapses concurrent decodes of one coding group
+// through the transfer engine's singleflight: parallel extent workers (or
+// readahead fetches) that all lost their replicas pay for one decode — k
+// block loads — instead of k loads each. The shared slice is copied out by
+// every caller and never written.
+func (t *Tools) decodeGroupShared(ms []*exnode.Mapping, opts DownloadOptions) ([]byte, error) {
+	if t.Transfer == nil {
+		return t.decodeGroup(ms, opts)
+	}
+	data, shared, err := t.Transfer.GroupDo(ms[0].Group, func() ([]byte, error) {
+		return t.decodeGroup(ms, opts)
+	})
+	if shared {
+		t.logf("core: coded group %s: reused a concurrent decode", ms[0].Group)
+	}
+	return data, err
 }
 
 // decodeGroup loads the group's surviving blocks and reconstructs the

@@ -59,6 +59,11 @@ type DownloadOptions struct {
 	// decrypting — what Augment uses to replicate sealed data without
 	// ever holding the key.
 	Raw bool
+	// Readahead is how many extents a streaming reader prefetches beyond
+	// the one being consumed (0 = fully lazy, the paper's mode). Memory
+	// stays bounded at Readahead+1 extents. Ignored by non-streaming
+	// downloads, which parallelise via Parallelism instead.
+	Readahead int
 	// Budget bounds the whole download in (possibly simulated) time:
 	// once exceeded, remaining extents are not attempted and the download
 	// fails with ErrBudgetExceeded. Zero means no bound. Both the
@@ -244,31 +249,20 @@ func (t *Tools) effectiveStrategy(s Strategy) Strategy {
 	return s
 }
 
-// fetchExtent retrieves one extent into dst with ranked failover.
+// fetchExtent retrieves one extent into dst with ranked failover. With a
+// transfer engine attached the candidates are raced through it (per-depot
+// concurrency slots, hedged backup attempts); without one the plain
+// sequential failover loop runs.
 func (t *Tools) fetchExtent(x *exnode.ExNode, ext exnode.Extent, dst []byte, opts DownloadOptions, dir map[string]geo.Point, seedMix int) ExtentReport {
 	cands := t.rankCandidates(x.Candidates(ext), opts, dir, seedMix)
 	er := ExtentReport{Start: ext.Start, End: ext.End}
-	max := opts.MaxAttemptsPerExtent
-	for i, m := range cands {
-		if max > 0 && i >= max {
-			break
-		}
-		er.Attempts++
-		t0 := t.clock().Now()
-		err := t.attempt(m, ext, dst, opts)
-		a := Attempt{Depot: m.Depot, Addr: m.Read.Addr, Start: t0, Duration: t.clock().Since(t0)}
-		if err != nil {
-			a.Err = err.Error()
-			er.Trail = append(er.Trail, a)
-			t.logf("core: extent [%d,%d): depot %s failed: %v", ext.Start, ext.End, m.Depot, err)
-			er.Err = err
-			continue
-		}
-		a.Bytes = ext.Len()
-		er.Trail = append(er.Trail, a)
-		er.Depot = m.Depot
-		er.Addr = m.Read.Addr
-		er.Err = nil
+	var ok bool
+	if t.Transfer != nil {
+		ok = t.raceCandidates(&er, cands, ext, dst, opts)
+	} else {
+		ok = t.tryCandidates(&er, cands, ext, dst, opts)
+	}
+	if ok {
 		return er
 	}
 	// Every replica failed (or none existed): try coded recovery.
@@ -297,13 +291,107 @@ func (t *Tools) fetchExtent(x *exnode.ExNode, ext exnode.Extent, dst []byte, opt
 	return er
 }
 
-// attempt loads ext from one mapping and verifies integrity when possible.
-func (t *Tools) attempt(m *exnode.Mapping, ext exnode.Extent, dst []byte, opts DownloadOptions) error {
+// tryCandidates is the plain sequential failover loop: each ranked
+// candidate is tried in turn until one serves the extent.
+func (t *Tools) tryCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exnode.Extent, dst []byte, opts DownloadOptions) bool {
+	max := opts.MaxAttemptsPerExtent
+	for i, m := range cands {
+		if max > 0 && i >= max {
+			break
+		}
+		er.Attempts++
+		t0 := t.clock().Now()
+		data, err := t.attemptLoad(m, ext, opts, nil)
+		a := Attempt{Depot: m.Depot, Addr: m.Read.Addr, Start: t0, Duration: t.clock().Since(t0)}
+		if err != nil {
+			a.Err = err.Error()
+			er.Trail = append(er.Trail, a)
+			t.logf("core: extent [%d,%d): depot %s failed: %v", ext.Start, ext.End, m.Depot, err)
+			er.Err = err
+			continue
+		}
+		copy(dst, data)
+		a.Bytes = ext.Len()
+		er.Trail = append(er.Trail, a)
+		er.Depot = m.Depot
+		er.Addr = m.Read.Addr
+		er.Err = nil
+		return true
+	}
+	return false
+}
+
+// raceCandidates walks the ranked candidates through the transfer engine.
+// Each step races cands[i] as primary against cands[i+1] as the hedged
+// backup (launched only if the primary outlives the engine's threshold);
+// on total failure of a step the walk falls over past every candidate it
+// consumed. Each attempt loads into its own buffer — two hedged attempts
+// must never share dst — and the winner is copied out once.
+func (t *Tools) raceCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exnode.Extent, dst []byte, opts DownloadOptions) bool {
+	max := opts.MaxAttemptsPerExtent
+	for i := 0; i < len(cands); {
+		if max > 0 && er.Attempts >= max {
+			break
+		}
+		pair := [2]*exnode.Mapping{cands[i], nil}
+		addrs := [2]string{cands[i].Read.Addr, ""}
+		if i+1 < len(cands) && (max <= 0 || er.Attempts+1 < max) {
+			pair[1] = cands[i+1]
+			addrs[1] = cands[i+1].Read.Addr
+		}
+		var bufs [2][]byte
+		winner, out := t.Transfer.Hedge(addrs, func(idx int, cancel <-chan struct{}) error {
+			data, err := t.attemptLoad(pair[idx], ext, opts, cancel)
+			if err != nil {
+				return err
+			}
+			bufs[idx] = data
+			return nil
+		})
+		launched := 0
+		for idx, o := range out {
+			if o == nil {
+				continue
+			}
+			launched++
+			er.Attempts++
+			a := Attempt{
+				Depot: pair[idx].Depot, Addr: pair[idx].Read.Addr,
+				Start: o.Start, Duration: o.End.Sub(o.Start), Hedged: o.Hedged,
+			}
+			if o.Err != nil {
+				a.Err = o.Err.Error()
+				er.Err = o.Err
+				t.logf("core: extent [%d,%d): depot %s failed: %v", ext.Start, ext.End, pair[idx].Depot, o.Err)
+			} else {
+				a.Bytes = ext.Len()
+			}
+			er.Trail = append(er.Trail, a)
+		}
+		if winner >= 0 {
+			copy(dst, bufs[winner])
+			er.Depot = pair[winner].Depot
+			er.Addr = pair[winner].Read.Addr
+			er.Err = nil
+			return true
+		}
+		if launched == 0 {
+			break
+		}
+		i += launched
+	}
+	return false
+}
+
+// attemptLoad loads ext from one mapping into a fresh buffer and verifies
+// integrity when possible. A non-nil cancel may abandon the load mid-flight
+// (the losing side of a hedged race).
+func (t *Tools) attemptLoad(m *exnode.Mapping, ext exnode.Extent, opts DownloadOptions, cancel <-chan struct{}) ([]byte, error) {
 	off := ext.Start - m.Offset
 	t0 := t.clock().Now()
-	data, err := t.IBP.Load(m.Read, off, ext.Len())
+	data, err := t.IBP.LoadCancel(m.Read, off, ext.Len(), cancel)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	elapsed := t.clock().Since(t0)
 	// Feed the observation back into NWS: real downloads are the best
@@ -316,11 +404,10 @@ func (t *Tools) attempt(m *exnode.Mapping, ext exnode.Extent, dst []byte, opts D
 	// mapping (the digest covers the full stored fragment).
 	if !opts.SkipVerify && m.Checksum != "" && off == 0 && ext.Len() == m.Length {
 		if err := integrity.Verify(data, m.Checksum); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	copy(dst, data)
-	return nil
+	return data, nil
 }
 
 // rankCandidates orders mappings per the strategy, then demotes depots

@@ -16,6 +16,7 @@ type Attempt struct {
 	Duration time.Duration // how long it took to succeed or fail
 	Bytes    int64         // payload bytes moved (0 on failure)
 	Coded    bool          // served via parity/RS recovery, not a replica
+	Hedged   bool          // launched as the backup side of a hedged read
 	Err      string        // "" on success
 }
 
@@ -36,6 +37,9 @@ func (a Attempt) String() string {
 	}
 	if a.Coded {
 		who += " [coded]"
+	}
+	if a.Hedged {
+		who += " [hedged]"
 	}
 	if a.OK() {
 		return fmt.Sprintf("%s: ok, %d B in %s", who, a.Bytes, a.Duration)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/ibp"
 	"repro/internal/lbone"
 	"repro/internal/nws"
+	"repro/internal/transfer"
 	"repro/internal/vclock"
 )
 
@@ -76,6 +77,12 @@ type Tools struct {
 	// depots that would only fail fast. Nil disables health-aware
 	// behaviour.
 	Health *health.Scoreboard
+	// Transfer is the adaptive transfer engine. When set, extent fetches
+	// run through its per-depot concurrency limiter, may hedge a slow
+	// attempt against the next-ranked replica, and concurrent decodes of
+	// the same coding group collapse into one. Nil reproduces the plain
+	// sequential failover path.
+	Transfer *transfer.Engine
 }
 
 func (t *Tools) clock() vclock.Clock {

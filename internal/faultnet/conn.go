@@ -68,9 +68,20 @@ func (c *shapedConn) charge(n int, rtt bool) error {
 	return nil
 }
 
+// shapeChunk bounds how many bytes a single shaped Read or Write may move
+// before simulated time is charged. Loopback TCP happily delivers a whole
+// 50 KiB response in one syscall; charging it as one lump would commit the
+// entire transfer's simulated cost atomically, letting a transfer sail
+// past outage windows, virtual deadlines, and cancellation in one step.
+// Chunking keeps mid-transfer events at packet-train granularity.
+const shapeChunk = 4 << 10
+
 // Read shapes inbound data: bandwidth delay per byte, one RTT when this
 // read answers a preceding write (a request/response turn).
 func (c *shapedConn) Read(p []byte) (int, error) {
+	if len(p) > shapeChunk {
+		p = p[:shapeChunk]
+	}
 	n, err := c.Conn.Read(p)
 	if n > 0 {
 		c.mu.Lock()
@@ -94,16 +105,30 @@ func (c *shapedConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Write shapes outbound data.
+// Write shapes outbound data, charging per chunk so large uploads can be
+// interrupted mid-transfer. Unlike Read, Write must consume all of p, so
+// it loops instead of truncating.
 func (c *shapedConn) Write(p []byte) (int, error) {
-	n, err := c.Conn.Write(p)
-	if n > 0 {
-		c.mu.Lock()
-		c.lastWrite = true
-		c.mu.Unlock()
-		if cerr := c.charge(n, false); cerr != nil {
-			return n, cerr
+	total := 0
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > shapeChunk {
+			chunk = chunk[:shapeChunk]
 		}
+		n, err := c.Conn.Write(chunk)
+		if n > 0 {
+			c.mu.Lock()
+			c.lastWrite = true
+			c.mu.Unlock()
+			total += n
+			if cerr := c.charge(n, false); cerr != nil {
+				return total, cerr
+			}
+		}
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
 	}
-	return n, err
+	return total, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netx"
@@ -58,6 +59,7 @@ type Model struct {
 	mu     sync.Mutex
 	clock  vclock.Clock
 	rng    *rand.Rand
+	pacing atomic.Int64 // wall-pacing divisor; 0 = off (see SetWallPacing)
 	links  map[sitePair]Link
 	depots map[string]DepotState // keyed by depot address
 	// DefaultLink applies to site pairs with no explicit entry.
@@ -160,14 +162,38 @@ func (m *Model) DialerFrom(site string) netx.Dialer {
 	})
 }
 
+// DefaultWallPacing is the divisor SetWallPacing callers should normally
+// use: 1s of simulated transfer time costs 10ms of wall time — large
+// enough that fixed wall overheads (a real loopback dial, a few syscalls,
+// goroutine wakeups) stay small next to any meaningful simulated delay.
+const DefaultWallPacing = 100
+
+// SetWallPacing makes virtual-clock advances also sleep d/div of real
+// time (0, the default, disables pacing). Without pacing every transfer
+// completes in microseconds of wall time regardless of its simulated
+// cost, so code that races concurrent transfers — hedged reads — would
+// see wall-clock completion order bear no relation to simulated speed.
+// With pacing, a virtually-slow transfer is also wall-slow in proportion
+// and races resolve the way they would on a real network. Only transfer
+// charges and dial latencies are paced; experiment-level clock jumps
+// (Advance on the virtual clock directly) stay free, so long simulated
+// monitoring runs remain fast unless they actually move bytes.
+func (m *Model) SetWallPacing(div int) {
+	m.pacing.Store(int64(div))
+}
+
 // advanceClock moves simulated time forward by d: virtual clocks advance
-// directly, real clocks sleep.
+// directly (plus a proportional pacing sleep when SetWallPacing is on),
+// real clocks sleep.
 func (m *Model) advanceClock(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	if v, ok := m.clock.(*vclock.Virtual); ok {
 		v.Advance(d)
+		if div := m.pacing.Load(); div > 0 {
+			time.Sleep(d / time.Duration(div))
+		}
 		return
 	}
 	m.clock.Sleep(d)

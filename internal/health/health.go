@@ -356,6 +356,19 @@ func (s *Scoreboard) Blocked(addr string) bool {
 	return false
 }
 
+// Latency returns the summary of addr's recent success latencies (seconds)
+// and whether any samples exist. The transfer engine derives its hedging
+// threshold from these per-depot percentiles.
+func (s *Scoreboard) Latency(addr string) (stats.Summary, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.depots[addr]
+	if !ok || len(d.lat) == 0 {
+		return stats.Summary{}, false
+	}
+	return stats.Summarize(append([]float64(nil), d.lat...)), true
+}
+
 // Score returns addr's freshness-weighted success rate in [0,1]. Depots
 // with no (or fully decayed) history score 1: unknown depots deserve a
 // chance.

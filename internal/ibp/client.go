@@ -98,6 +98,12 @@ func (c *Client) applyDeadline(conn *wire.Conn) error {
 	return netx.SetOpDeadline(conn.NetConn(), c.clock.Now(), c.opTimeout)
 }
 
+// ErrCancelled reports that an operation was abandoned on purpose — its
+// hedged sibling won the race — rather than failing. Cancelled operations
+// are not reported to the health scoreboard (a depot must not be penalised
+// because a faster replica existed) and are never retried on a fresh dial.
+var ErrCancelled = errors.New("ibp: operation cancelled")
+
 // withConn runs one protocol exchange on a pooled or fresh connection,
 // retrying once on a fresh dial when a reused connection turns out stale.
 // op must be safe to re-run from scratch (all client exchanges are: they
@@ -106,7 +112,47 @@ func (c *Client) applyDeadline(conn *wire.Conn) error {
 // reported back. With an observer attached, one event is emitted per
 // operation; bytes is the payload size credited to a successful exchange.
 func (c *Client) withConn(verb, addr string, bytes int64, retryable bool, op func(conn *wire.Conn) error) error {
+	return c.withConnCancel(verb, addr, bytes, retryable, nil, op)
+}
+
+// withConnCancel is withConn with an optional cancel channel. When cancel
+// fires mid-exchange the connection is closed out from under the operation
+// (unblocking any pending read) and the error collapses to ErrCancelled;
+// health reporting is skipped for cancelled exchanges and the observer sees
+// outcome "cancelled". A nil cancel behaves exactly like withConn.
+func (c *Client) withConnCancel(verb, addr string, bytes int64, retryable bool, cancel <-chan struct{}, op func(conn *wire.Conn) error) error {
 	start := c.clock.Now()
+	if cancel != nil {
+		select {
+		case <-cancel:
+			return ErrCancelled
+		default:
+		}
+		inner := op
+		op = func(conn *wire.Conn) error {
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			killed := false
+			go func() {
+				defer close(done)
+				select {
+				case <-cancel:
+					killed = true
+					conn.Close()
+				case <-stop:
+				}
+			}()
+			err := inner(conn)
+			close(stop)
+			<-done
+			if killed {
+				// Even a completed exchange is discarded: the race already
+				// has a winner, and the closed conn must not be pooled.
+				return ErrCancelled
+			}
+			return err
+		}
+	}
 	if c.health != nil {
 		if err := c.health.Allow(addr); err != nil {
 			if c.obs != nil {
@@ -120,7 +166,8 @@ func (c *Client) withConn(verb, addr string, bytes int64, retryable bool, op fun
 	}
 	reused, retried, err := c.exchange(addr, retryable, op)
 	elapsed := c.clock.Since(start)
-	if c.health != nil {
+	cancelled := errors.Is(err, ErrCancelled)
+	if c.health != nil && !cancelled {
 		c.health.Report(addr, health.Classify(err), elapsed)
 	}
 	if c.obs != nil {
@@ -128,6 +175,9 @@ func (c *Client) withConn(verb, addr string, bytes int64, retryable bool, op fun
 			Time: start, Verb: verb, Depot: addr, Latency: elapsed,
 			Outcome: health.Classify(err).String(),
 			Reused:  reused, Retried: retried,
+		}
+		if cancelled {
+			ev.Outcome = "cancelled"
 		}
 		if err != nil {
 			ev.Err = err.Error()
@@ -234,10 +284,19 @@ func (c *Client) Store(w Cap, data []byte) (int64, error) {
 // Load reads length bytes at offset from the byte array named by the read
 // capability.
 func (c *Client) Load(r Cap, offset, length int64) ([]byte, error) {
+	return c.LoadCancel(r, offset, length, nil)
+}
+
+// LoadCancel is Load with a cancellation channel: when cancel fires before
+// the exchange completes, the connection is torn down and the call returns
+// an error matching ErrCancelled. The transfer engine uses this to abandon
+// the losing side of a hedged read. A nil cancel is plain Load.
+func (c *Client) LoadCancel(r Cap, offset, length int64, cancel <-chan struct{}) ([]byte, error) {
 	var buf []byte
 	// Load buffers internally, so a retry on a stale pooled connection is
-	// safe.
-	err := c.load(r, offset, length, true, func(conn *wire.Conn, n int64) error {
+	// safe (cancelled exchanges never retry: ErrCancelled is not a
+	// conn-reuse error).
+	err := c.load(r, offset, length, true, cancel, func(conn *wire.Conn, n int64) error {
 		var err error
 		buf, err = conn.ReadBlob(n)
 		return err
@@ -251,21 +310,21 @@ func (c *Client) LoadTo(dst io.Writer, r Cap, offset, length int64) (int64, erro
 	var n int64
 	// LoadTo streams into dst, so a retry could duplicate bytes: never
 	// retry.
-	err := c.load(r, offset, length, false, func(conn *wire.Conn, want int64) error {
+	err := c.load(r, offset, length, false, nil, func(conn *wire.Conn, want int64) error {
 		n = want
 		return conn.CopyBlob(dst, want)
 	})
 	return n, err
 }
 
-func (c *Client) load(r Cap, offset, length int64, retryable bool, consume func(*wire.Conn, int64) error) error {
+func (c *Client) load(r Cap, offset, length int64, retryable bool, cancel <-chan struct{}, consume func(*wire.Conn, int64) error) error {
 	if r.Type != CapRead {
 		return fmt.Errorf("ibp: load requires a READ capability, got %s", r.Type)
 	}
 	if offset < 0 || length < 0 {
 		return fmt.Errorf("ibp: load: negative offset or length")
 	}
-	return c.withConn(OpLoad, r.Addr, length, retryable, func(conn *wire.Conn) error {
+	return c.withConnCancel(OpLoad, r.Addr, length, retryable, cancel, func(conn *wire.Conn) error {
 		if err := conn.WriteLine(OpLoad, r.Token(), wire.Itoa(offset), wire.Itoa(length)); err != nil {
 			return err
 		}

@@ -30,7 +30,7 @@ type Event struct {
 	Depot   string        // depot address host:port
 	Bytes   int64         // payload bytes moved (0 when none or on failure)
 	Latency time.Duration // wall time of the exchange on the client's clock
-	Outcome string        // "success", "timeout", "refused", "net-error", "protocol-error", "circuit-open"
+	Outcome string        // "success", "timeout", "refused", "net-error", "protocol-error", "circuit-open", "cancelled"
 	Err     string        // error text ("" on success)
 	Reused  bool          // served on a pooled connection
 	Retried bool          // retried on a fresh dial after a stale pooled conn

@@ -18,6 +18,7 @@ type Summary struct {
 	Mean   float64
 	Median float64
 	P95    float64
+	P99    float64
 	Stddev float64
 }
 
@@ -47,6 +48,7 @@ func Summarize(xs []float64) Summary {
 		Mean:   mean,
 		Median: Percentile(s, 50),
 		P95:    Percentile(s, 95),
+		P99:    Percentile(s, 99),
 		Stddev: math.Sqrt(variance),
 	}
 }

@@ -1,0 +1,109 @@
+package transfer
+
+import (
+	"math"
+	"sync"
+)
+
+// limiter is a weighted semaphore keyed by depot address: each depot gets
+// its own slot count, so a wide parallel download cannot converge all of
+// its sockets on the closest depot. With a Forecast source the counts are
+// bandwidth-weighted — a depot forecast at twice the fleet average earns
+// twice the base slots (clamped), one forecast at half earns half — which
+// is where striped parallel-filesystem throughput comes from: feed fast
+// peers proportionally more of the stream.
+type limiter struct {
+	mu       sync.Mutex
+	base     int
+	forecast func(addr string) (float64, bool)
+	entries  map[string]*depotSlots
+}
+
+type depotSlots struct {
+	cond     *sync.Cond
+	inflight int
+	bw       float64 // last forecast seen (0 = none)
+}
+
+func newLimiter(base int, forecast func(addr string) (float64, bool)) *limiter {
+	return &limiter{
+		base:     base,
+		forecast: forecast,
+		entries:  make(map[string]*depotSlots),
+	}
+}
+
+func (l *limiter) entry(addr string) *depotSlots {
+	e, ok := l.entries[addr]
+	if !ok {
+		e = &depotSlots{cond: sync.NewCond(&l.mu)}
+		l.entries[addr] = e
+	}
+	return e
+}
+
+// slotsLocked computes addr's current slot count. Without forecasts every
+// depot gets the base count. With forecasts, a depot's count scales with
+// its bandwidth relative to the mean of all forecasted depots, clamped to
+// [1, 2*base] so one optimistic forecast cannot unbound the fan-in and one
+// pessimistic forecast cannot starve a reachable depot.
+func (l *limiter) slotsLocked(e *depotSlots) int {
+	if e.bw <= 0 {
+		return l.base
+	}
+	var sum float64
+	n := 0
+	for _, d := range l.entries {
+		if d.bw > 0 {
+			sum += d.bw
+			n++
+		}
+	}
+	if n == 0 || sum <= 0 {
+		return l.base
+	}
+	mean := sum / float64(n)
+	s := int(math.Round(float64(l.base) * e.bw / mean))
+	if s < 1 {
+		s = 1
+	}
+	if s > 2*l.base {
+		s = 2 * l.base
+	}
+	return s
+}
+
+// acquire claims a slot for addr, blocking while the depot is at its
+// limit. It reports whether the caller had to wait.
+func (l *limiter) acquire(addr string) (waited bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entry(addr)
+	if l.forecast != nil {
+		if bw, ok := l.forecast(addr); ok && bw > 0 {
+			e.bw = bw
+		}
+	}
+	for e.inflight >= l.slotsLocked(e) {
+		waited = true
+		e.cond.Wait()
+	}
+	e.inflight++
+	return waited
+}
+
+// release returns addr's slot.
+func (l *limiter) release(addr string) {
+	l.mu.Lock()
+	e := l.entry(addr)
+	e.inflight--
+	e.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// slots reports the current slot count for addr.
+func (l *limiter) slots(addr string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.slotsLocked(l.entry(addr))
+}

@@ -1,0 +1,47 @@
+package transfer
+
+import "sync"
+
+// singleflight collapses concurrent calls with the same key into one
+// execution whose result every caller shares — the classic pattern, sized
+// down to exactly what coded-group recovery needs. Results are not cached:
+// once the leader's call completes and its waiters drain, the next caller
+// for the key runs fn again (a later extent may legitimately need a fresh
+// decode after depots change state).
+type singleflight struct {
+	mu sync.Mutex
+	m  map[string]*sfCall
+}
+
+type sfCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+func newSingleflight() *singleflight {
+	return &singleflight{m: make(map[string]*sfCall)}
+}
+
+// do executes fn under key, or waits for the in-flight execution and
+// shares its result. shared reports whether this caller reused another
+// caller's work. The returned slice is shared: treat it as read-only.
+func (g *singleflight) do(key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := &sfCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, false, c.err
+}
