@@ -2,7 +2,7 @@
 # suite, then race-detector runs of the concurrency-heavy packages
 # (parallel transfers in core, connection pool + shared health scoreboard
 # in ibp, depot metric counters, lbone registry, the obs collector).
-.PHONY: tier1 build vet staticcheck test race bench
+.PHONY: tier1 build vet staticcheck test race bench stackmon-smoke
 
 tier1: build vet staticcheck test race
 
@@ -27,7 +27,7 @@ test:
 race:
 	go test -race repro/internal/core repro/internal/ibp repro/internal/health \
 		repro/internal/depot repro/internal/lbone repro/internal/obs \
-		repro/internal/transfer repro/internal/faultnet
+		repro/internal/transfer repro/internal/faultnet repro/internal/stackmon
 
 # End-to-end transfer benchmarks → BENCH_upload_download.json
 # (ns/op and MB/s per bench; raw bench log stays on stderr), plus the
@@ -41,3 +41,14 @@ bench:
 	go test -run '^$$' -bench 'BenchmarkTransferSlowDepot' -benchtime 20x . \
 		| go run ./cmd/benchjson > BENCH_transfer.json
 	@echo "wrote BENCH_transfer.json"
+
+# Availability-study smoke: a 24h virtual-clock stackmon simulation over
+# faultnet (finishes in seconds of wall time) with two scripted outages,
+# written as the paper-style JSON study → STACKMON_study.json. Exercises
+# the whole monitor path: probe sweeps, data rounds, availability math.
+stackmon-smoke:
+	go run ./cmd/stackmon sim -depots 6 -duration 24h -interval 5m \
+		-outages 'D02:6h-9h,D05:2h-3h30m,D05:11h-14h' \
+		-json STACKMON_study.json
+	go run ./cmd/stackmon report -in STACKMON_study.json
+	@echo "wrote STACKMON_study.json"

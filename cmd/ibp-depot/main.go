@@ -22,6 +22,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/ibp"
 	"repro/internal/lbone"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", time.Minute, "L-Bone heartbeat interval")
 		reapEvery   = flag.Duration("reap", time.Minute, "expired-allocation sweep interval")
 		metricsAddr = flag.String("metrics-listen", "", "serve /metrics and /healthz over HTTP on this address (e.g. :9714; empty = off)")
+		pprofOn     = flag.Bool("pprof", false, "also serve /debug/pprof on the metrics listener")
 	)
 	flag.Parse()
 
@@ -66,9 +68,13 @@ func main() {
 	log.Printf("ibp-depot: serving %d bytes on %s (capabilities name %s)", *capacity, d.Addr(), d.Advertised())
 
 	if *metricsAddr != "" {
+		mux := d.ObsMux()
+		if *pprofOn {
+			obs.AttachPprof(mux)
+		}
 		go func() {
 			log.Printf("ibp-depot: metrics on http://%s/metrics", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, d.ObsMux()); err != nil {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("ibp-depot: metrics listener: %v", err)
 			}
 		}()

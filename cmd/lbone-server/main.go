@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/ibp"
 	"repro/internal/lbone"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 		ttl         = flag.Duration("ttl", 5*time.Minute, "depot liveness window (0 = never expire)")
 		poll        = flag.Duration("poll", 0, "refresh depot capacities via STATUS at this interval (0 = off)")
 		metricsAddr = flag.String("metrics-listen", "", "serve /metrics and /healthz over HTTP on this address (e.g. :9767; empty = off)")
+		pprofOn     = flag.Bool("pprof", false, "also serve /debug/pprof on the metrics listener")
 	)
 	flag.Parse()
 
@@ -38,9 +40,13 @@ func main() {
 	}
 	log.Printf("lbone-server: listening on %s (ttl %v)", s.Addr(), *ttl)
 	if *metricsAddr != "" {
+		mux := s.ObsMux()
+		if *pprofOn {
+			obs.AttachPprof(mux)
+		}
 		go func() {
 			log.Printf("lbone-server: metrics on http://%s/metrics", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, s.ObsMux()); err != nil {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("lbone-server: metrics listener: %v", err)
 			}
 		}()

@@ -1,0 +1,287 @@
+// Command stackmon is the network-storage availability monitor: a
+// continuous re-run of the paper's three-day, 14-depot study (§3). It
+// sweeps an L-Bone depot set on a fixed interval — STATUS probe plus an
+// optional allocate/store/load/delete round — and serves the resulting
+// time series as Prometheus metrics and paper-style availability reports.
+//
+// Usage:
+//
+//	stackmon run -lbone host:6767 -interval 5m -payload 65536 \
+//	             -metrics-listen :9790 -state-out stackmon.json
+//	stackmon run -depots host1:6714,host2:6714 -interval 1m
+//	stackmon sim -duration 24h -interval 5m -outages "D02:6h-9h,D05:1h-3h" \
+//	             -json study.json
+//	stackmon report -in stackmon.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/ibp"
+	"repro/internal/lbone"
+	"repro/internal/obs"
+	"repro/internal/stackmon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stackmon: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "sim":
+		err = cmdSim(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: stackmon <command> [flags]
+
+commands:
+  run     monitor a live depot set (static -depots list and/or -lbone discovery)
+  sim     run a faultnet-simulated study on a virtual clock and print the report
+  report  render a saved state file (-state-out of a run) as a markdown table`)
+	os.Exit(2)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		depots      = fs.String("depots", "", "comma-separated depot addresses to monitor")
+		lboneAddr   = fs.String("lbone", os.Getenv("XND_LBONE"), "L-Bone server for depot discovery (or $XND_LBONE)")
+		interval    = fs.Duration("interval", stackmon.DefInterval, "sweep interval")
+		payload     = fs.Int("payload", 64<<10, "data-round payload bytes (0 = probe-only)")
+		allocFor    = fs.Duration("alloc-duration", stackmon.DefDuration, "data-round allocation lifetime")
+		opTimeout   = fs.Duration("timeout", 30*time.Second, "per-operation timeout")
+		metricsAddr = fs.String("metrics-listen", "", "serve /metrics, /healthz, /report on this address (empty = off)")
+		pprofOn     = fs.Bool("pprof", false, "also serve /debug/pprof on the metrics listener")
+		stateOut    = fs.String("state-out", "", "write the study (JSON, sample detail included) here on exit and every sweep")
+		maxSamples  = fs.Int("max-samples", stackmon.DefMaxSamples, "retained samples per depot")
+	)
+	fs.Parse(args)
+
+	cfg := stackmon.Config{
+		Client: ibp.NewClient(ibp.WithOpTimeout(*opTimeout)),
+		Interval: *interval, Payload: *payload, Duration: *allocFor,
+		MaxSamples: *maxSamples,
+		Logf:       log.Printf,
+	}
+	if *depots != "" {
+		for _, a := range strings.Split(*depots, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.Depots = append(cfg.Depots, a)
+			}
+		}
+	}
+	if *lboneAddr != "" {
+		lb := lbone.NewClient(*lboneAddr)
+		cfg.Discover = func() []string {
+			infos, err := lb.List()
+			if err != nil {
+				log.Printf("L-Bone discovery: %v", err)
+				return nil
+			}
+			addrs := make([]string, len(infos))
+			for i, d := range infos {
+				addrs[i] = d.Addr
+			}
+			return addrs
+		}
+	}
+	mon, err := stackmon.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *metricsAddr != "" {
+		mux := mon.ObsMux()
+		if *pprofOn {
+			obs.AttachPprof(mux)
+		}
+		go func() {
+			log.Printf("metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		close(stop)
+	}()
+
+	log.Printf("monitoring every %v (payload %d bytes)", *interval, *payload)
+	if *stateOut != "" {
+		// Persist after every sweep so a crash loses at most one interval.
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(*interval):
+					if err := writeStudy(*stateOut, mon.Snapshot(true)); err != nil {
+						log.Printf("state-out: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	mon.Run(stop)
+
+	st := mon.Snapshot(true)
+	if *stateOut != "" {
+		if err := writeStudy(*stateOut, st); err != nil {
+			return err
+		}
+		log.Printf("study written to %s", *stateOut)
+	}
+	fmt.Print(st.Markdown())
+	return nil
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	var (
+		nDepots  = fs.Int("depots", 14, "simulated depot count")
+		duration = fs.Duration("duration", 24*time.Hour, "virtual study length")
+		interval = fs.Duration("interval", stackmon.DefInterval, "sweep interval")
+		payload  = fs.Int("payload", 16<<10, "data-round payload bytes")
+		probes   = fs.Bool("probe-only", false, "skip the store/load round")
+		seed     = fs.Int64("seed", 1, "deterministic seed for link jitter")
+		outages  = fs.String("outages", "", `scripted outages as "NAME:FROM-TO,..." offsets, e.g. "D02:6h-9h,D05:1h-3h"`)
+		jsonOut  = fs.String("json", "", "also write the full study as JSON here")
+		verbose  = fs.Bool("v", false, "log depot state transitions")
+	)
+	fs.Parse(args)
+
+	cfg := stackmon.SimConfig{
+		Duration: *duration, Interval: *interval,
+		Payload: *payload, ProbeOnly: *probes, Seed: *seed,
+	}
+	if *nDepots != 14 {
+		cfg.Depots = make([]string, *nDepots)
+		for i := range cfg.Depots {
+			cfg.Depots[i] = fmt.Sprintf("D%02d", i+1)
+		}
+	}
+	var err error
+	if cfg.Outages, err = parseOutages(*outages); err != nil {
+		return err
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	start := time.Now()
+	st, addrOf, err := stackmon.RunSim(cfg)
+	if err != nil {
+		return err
+	}
+	nameOf := map[string]string{}
+	for name, addr := range addrOf {
+		nameOf[addr] = name
+	}
+	for i := range st.Depots {
+		if n := nameOf[st.Depots[i].Addr]; n != "" {
+			st.Depots[i].Addr = n
+		}
+	}
+	sort.Slice(st.Depots, func(i, j int) bool { return st.Depots[i].Addr < st.Depots[j].Addr })
+	log.Printf("simulated %v of monitoring in %v wall time", *duration, time.Since(start).Round(time.Millisecond))
+	fmt.Print(st.Markdown())
+	if *jsonOut != "" {
+		if err := writeStudy(*jsonOut, st); err != nil {
+			return err
+		}
+		log.Printf("study written to %s", *jsonOut)
+	}
+	return nil
+}
+
+// parseOutages parses "NAME:FROM-TO,NAME:FROM-TO" where FROM/TO are
+// Go durations offset from the study start.
+func parseOutages(s string) ([]stackmon.SimOutage, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []stackmon.SimOutage
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		name, window, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad outage %q, want NAME:FROM-TO", part)
+		}
+		fromS, toS, ok := strings.Cut(window, "-")
+		if !ok {
+			return nil, fmt.Errorf("bad outage window %q, want FROM-TO", window)
+		}
+		from, err1 := time.ParseDuration(fromS)
+		to, err2 := time.ParseDuration(toS)
+		if err1 != nil || err2 != nil || to <= from {
+			return nil, fmt.Errorf("bad outage window %q", window)
+		}
+		out = append(out, stackmon.SimOutage{Depot: name, From: from, To: to})
+	}
+	return out, nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	in := fs.String("in", "", "study JSON file (a run's -state-out or a sim's -json)")
+	asJSON := fs.Bool("json", false, "re-emit normalized JSON instead of markdown")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("report wants -in <study.json>")
+	}
+	b, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	var st stackmon.Study
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("parsing %s: %w", *in, err)
+	}
+	if *asJSON {
+		out, err := st.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	fmt.Print(st.Markdown())
+	return nil
+}
+
+func writeStudy(path string, st stackmon.Study) error {
+	b, err := st.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

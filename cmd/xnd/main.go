@@ -39,9 +39,14 @@ import (
 
 // traceOn enables the global --trace flag: every IBP operation is recorded
 // by an obs.Collector and dumped (with per-transfer timelines) on exit.
+// Commands that support cross-layer tracing additionally mint rootSpan, and
+// every layer below — core extents, transfer hedges, IBP client ops, depot
+// server spans — hangs its events off it; dumpTrace then renders the joined
+// timeline.
 var (
 	traceOn  bool
 	traceCol *obs.Collector
+	rootSpan obs.SpanContext
 )
 
 func main() {
@@ -108,6 +113,10 @@ func dumpTrace() {
 	if traceCol == nil || traceCol.Total() == 0 {
 		return
 	}
+	if rootSpan.Valid() {
+		fmt.Fprintf(os.Stderr, "\n--- joined timeline (trace %s) ---\n", rootSpan.TraceID)
+		fmt.Fprint(os.Stderr, traceCol.RenderTrace(rootSpan.TraceID))
+	}
 	fmt.Fprint(os.Stderr, "\n--- operation trace ---\n")
 	fmt.Fprint(os.Stderr, traceCol.RenderEvents(50))
 	fmt.Fprint(os.Stderr, "\n--- per-depot aggregates ---\n")
@@ -148,6 +157,7 @@ type commonFlags struct {
 	hedgeAfter  *time.Duration
 	maxPerDepot *int
 	metricsAddr *string
+	pprofOn     *bool
 }
 
 func newFlags(name string) *commonFlags {
@@ -163,6 +173,7 @@ func newFlags(name string) *commonFlags {
 		hedgeAfter:  fs.Duration("hedge-after", 0, "fixed hedging threshold (0 = adapt from the health scoreboard)"),
 		maxPerDepot: fs.Int("max-per-depot", 4, "concurrent operations allowed per depot"),
 		metricsAddr: fs.String("metrics-listen", "", "serve transfer-engine /metrics over HTTP on this address while the command runs (empty = off)"),
+		pprofOn:     fs.Bool("pprof", false, "also serve /debug/pprof on the metrics listener"),
 	}
 }
 
@@ -211,6 +222,11 @@ func (c *commonFlags) tools() (*core.Tools, error) {
 		MaxPerDepot: *c.maxPerDepot,
 		Health:      sb,
 	}
+	if traceCol != nil {
+		// Hedge launches/wins/cancellations join the same event stream as
+		// the IBP ops, so traced downloads show the racing attempts.
+		engCfg.Observer = traceCol
+	}
 	if src := t.NWS; src != nil {
 		engCfg.Forecast = func(addr string) (float64, bool) {
 			return src.Forecast(site.Name, addr, nws.Bandwidth)
@@ -224,8 +240,11 @@ func (c *commonFlags) tools() (*core.Tools, error) {
 			if traceCol != nil {
 				ms = append(ms, traceCol.CollectorMetrics("xnd_ibp_")...)
 			}
-			return ms
+			return append(ms, obs.RuntimeMetrics()...)
 		}))
+		if *c.pprofOn {
+			obs.AttachPprof(mux)
+		}
 		go func() {
 			if err := http.ListenAndServe(*c.metricsAddr, mux); err != nil {
 				log.Printf("metrics listener: %v", err)
@@ -383,12 +402,23 @@ func cmdDownload(args []string) error {
 	if *pass != "" {
 		dlOpts.DecryptionKey = sealing.DeriveKey(*pass)
 	}
+	if traceOn {
+		// Root of the cross-layer trace: core extents, transfer hedges, IBP
+		// ops and depot server spans all hang below this span.
+		rootSpan = obs.NewRootSpan()
+		dlOpts.Span = rootSpan
+	}
+	note := fmt.Sprintf("%s [%d,%d)", c.fs.Arg(0), *offset, *offset+n)
+	start := time.Now()
 	if *readahead > 0 {
 		// Streaming mode: bytes flow to the output as extents arrive, with
 		// memory bounded at readahead+1 extents instead of the whole range.
-		return streamDownload(t, x, *offset, n, dlOpts, *out)
+		err := streamDownload(t, x, *offset, n, dlOpts, *out)
+		recordRoot(start, note, n, err)
+		return err
 	}
 	data, rep, err := t.DownloadRange(x, *offset, n, dlOpts)
+	recordRoot(start, note, n, err)
 	if traceOn && rep != nil {
 		fmt.Fprint(os.Stderr, "--- download timeline ---\n", rep.Timeline())
 	}
@@ -402,6 +432,26 @@ func cmdDownload(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// recordRoot closes the trace's root span: one DOWNLOAD event spanning the
+// whole command, which every extent span names as its parent.
+func recordRoot(start time.Time, note string, bytes int64, err error) {
+	if traceCol == nil || !rootSpan.Valid() {
+		return
+	}
+	ev := obs.Event{
+		Time: start, Verb: "DOWNLOAD", Latency: time.Since(start),
+		Trace: rootSpan.TraceID, Span: rootSpan.SpanID,
+		Note: note, Outcome: "ok",
+	}
+	if err != nil {
+		ev.Outcome = "error"
+		ev.Err = err.Error()
+	} else {
+		ev.Bytes = bytes
+	}
+	traceCol.Record(ev)
 }
 
 // streamDownload copies a ranged download to its destination through the

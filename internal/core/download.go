@@ -12,6 +12,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/integrity"
 	"repro/internal/nws"
+	"repro/internal/obs"
 	"repro/internal/sealing"
 )
 
@@ -70,6 +71,12 @@ type DownloadOptions struct {
 	// sequential and parallel paths enforce it; an in-flight extent is
 	// allowed to finish, but no further extent starts past the deadline.
 	Budget time.Duration
+	// Span, when sampled, traces the download: each extent fetch becomes a
+	// child span, IBP operations run under it (propagated to depots over
+	// the wire), and the transfer engine's hedging decisions are recorded
+	// against it. Mint one with obs.NewRootSpan (xnd does this for
+	// --trace).
+	Span obs.SpanContext
 }
 
 // ErrBudgetExceeded is returned when DownloadOptions.Budget runs out.
@@ -256,11 +263,37 @@ func (t *Tools) effectiveStrategy(s Strategy) Strategy {
 func (t *Tools) fetchExtent(x *exnode.ExNode, ext exnode.Extent, dst []byte, opts DownloadOptions, dir map[string]geo.Point, seedMix int) ExtentReport {
 	cands := t.rankCandidates(x.Candidates(ext), opts, dir, seedMix)
 	er := ExtentReport{Start: ext.Start, End: ext.End}
+	// Under a sampled download span each extent gets its own child span:
+	// the IBP client ops and hedge events below it share the extent's span
+	// as parent, and the extent itself is recorded as a synthetic EXTENT
+	// event so the joined timeline shows the core layer too.
+	var sc obs.SpanContext
+	if opts.Span.Sampled && opts.Span.Valid() {
+		sc = opts.Span.Child()
+		t0 := t.clock().Now()
+		defer func() {
+			if o := t.IBP.Observer(); o != nil {
+				ev := obs.Event{
+					Time: t0, Verb: "EXTENT", Latency: t.clock().Since(t0),
+					Trace: sc.TraceID, Span: sc.SpanID, Parent: opts.Span.SpanID,
+					Note: fmt.Sprintf("[%d,%d)", ext.Start, ext.End),
+					Depot: er.Addr, Outcome: "success",
+				}
+				if er.Err != nil {
+					ev.Outcome = "error"
+					ev.Err = er.Err.Error()
+				} else {
+					ev.Bytes = ext.Len()
+				}
+				o.Record(ev)
+			}
+		}()
+	}
 	var ok bool
 	if t.Transfer != nil {
-		ok = t.raceCandidates(&er, cands, ext, dst, opts)
+		ok = t.raceCandidates(&er, cands, ext, dst, opts, sc)
 	} else {
-		ok = t.tryCandidates(&er, cands, ext, dst, opts)
+		ok = t.tryCandidates(&er, cands, ext, dst, opts, sc)
 	}
 	if ok {
 		return er
@@ -293,7 +326,7 @@ func (t *Tools) fetchExtent(x *exnode.ExNode, ext exnode.Extent, dst []byte, opt
 
 // tryCandidates is the plain sequential failover loop: each ranked
 // candidate is tried in turn until one serves the extent.
-func (t *Tools) tryCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exnode.Extent, dst []byte, opts DownloadOptions) bool {
+func (t *Tools) tryCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exnode.Extent, dst []byte, opts DownloadOptions, sc obs.SpanContext) bool {
 	max := opts.MaxAttemptsPerExtent
 	for i, m := range cands {
 		if max > 0 && i >= max {
@@ -301,7 +334,7 @@ func (t *Tools) tryCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exn
 		}
 		er.Attempts++
 		t0 := t.clock().Now()
-		data, err := t.attemptLoad(m, ext, opts, nil)
+		data, err := t.attemptLoad(m, ext, opts, nil, sc)
 		a := Attempt{Depot: m.Depot, Addr: m.Read.Addr, Start: t0, Duration: t.clock().Since(t0)}
 		if err != nil {
 			a.Err = err.Error()
@@ -327,7 +360,7 @@ func (t *Tools) tryCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exn
 // on total failure of a step the walk falls over past every candidate it
 // consumed. Each attempt loads into its own buffer — two hedged attempts
 // must never share dst — and the winner is copied out once.
-func (t *Tools) raceCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exnode.Extent, dst []byte, opts DownloadOptions) bool {
+func (t *Tools) raceCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exnode.Extent, dst []byte, opts DownloadOptions, sc obs.SpanContext) bool {
 	max := opts.MaxAttemptsPerExtent
 	for i := 0; i < len(cands); {
 		if max > 0 && er.Attempts >= max {
@@ -340,8 +373,8 @@ func (t *Tools) raceCandidates(er *ExtentReport, cands []*exnode.Mapping, ext ex
 			addrs[1] = cands[i+1].Read.Addr
 		}
 		var bufs [2][]byte
-		winner, out := t.Transfer.Hedge(addrs, func(idx int, cancel <-chan struct{}) error {
-			data, err := t.attemptLoad(pair[idx], ext, opts, cancel)
+		winner, out := t.Transfer.HedgeCtx(sc, addrs, func(idx int, cancel <-chan struct{}) error {
+			data, err := t.attemptLoad(pair[idx], ext, opts, cancel, sc)
 			if err != nil {
 				return err
 			}
@@ -386,10 +419,16 @@ func (t *Tools) raceCandidates(er *ExtentReport, cands []*exnode.Mapping, ext ex
 // attemptLoad loads ext from one mapping into a fresh buffer and verifies
 // integrity when possible. A non-nil cancel may abandon the load mid-flight
 // (the losing side of a hedged race).
-func (t *Tools) attemptLoad(m *exnode.Mapping, ext exnode.Extent, opts DownloadOptions, cancel <-chan struct{}) ([]byte, error) {
+func (t *Tools) attemptLoad(m *exnode.Mapping, ext exnode.Extent, opts DownloadOptions, cancel <-chan struct{}, sc obs.SpanContext) ([]byte, error) {
 	off := ext.Start - m.Offset
 	t0 := t.clock().Now()
-	data, err := t.IBP.LoadCancel(m.Read, off, ext.Len(), cancel)
+	client := t.IBP
+	if sc.Sampled && sc.Valid() {
+		// Run the wire operation under the extent's span: the op event and
+		// the depot's server span both join the timeline beneath it.
+		client = t.IBP.WithSpan(sc)
+	}
+	data, err := client.LoadCancel(m.Read, off, ext.Len(), cancel)
 	if err != nil {
 		return nil, err
 	}

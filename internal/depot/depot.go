@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/ibp"
 	"repro/internal/netx"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 	"repro/internal/wire"
 )
@@ -41,6 +42,8 @@ type Config struct {
 	Logger *log.Logger
 	// MaxConns bounds concurrent connections (default 128).
 	MaxConns int
+	// TraceRing bounds retained server-side trace spans (default 256).
+	TraceRing int
 }
 
 // Depot is a running IBP depot daemon.
@@ -57,6 +60,7 @@ type Depot struct {
 	shutdown chan struct{}
 	conns    map[net.Conn]struct{}
 	metrics  Metrics
+	spans    *spanRing
 }
 
 type allocation struct {
@@ -108,6 +112,7 @@ func Serve(addr string, cfg Config) (*Depot, error) {
 		allocs:   make(map[string]*allocation),
 		shutdown: make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
+		spans:    newSpanRing(cfg.TraceRing),
 	}
 	if pb, ok := cfg.Backend.(PersistentBackend); ok {
 		if err := d.restore(pb); err != nil {
@@ -238,12 +243,17 @@ func (d *Depot) acceptLoop() {
 			d.logf("depot %s: accept: %v", d.cfg.Advertised, err)
 			return
 		}
+		// The semaphore wait is the depot's accept-queue delay; it is
+		// charged to the connection's first traced operation so a client
+		// can tell queueing at the depot from slowness on the wire.
+		qstart := d.clock.Now()
 		select {
 		case d.sem <- struct{}{}:
 		case <-d.shutdown:
 			conn.Close()
 			return
 		}
+		queueWait := d.clock.Since(qstart)
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
@@ -253,21 +263,21 @@ func (d *Depot) acceptLoop() {
 					d.logf("depot %s: connection panic: %v", d.cfg.Advertised, r)
 				}
 			}()
-			d.serveConn(conn)
+			d.serveConn(conn, queueWait)
 		}()
 	}
 }
 
 // serveConn handles one client connection: a sequence of request/response
 // exchanges terminated by QUIT, EOF, or a protocol error.
-func (d *Depot) serveConn(raw net.Conn) {
+func (d *Depot) serveConn(raw net.Conn, queueWait time.Duration) {
 	if !d.track(raw) {
 		raw.Close()
 		return
 	}
 	d.metrics.Connects.Add(1)
 	defer d.untrack(raw)
-	conn := wire.NewConn(raw)
+	conn := &connCtx{Conn: wire.NewConn(raw), queueWait: queueWait}
 	defer conn.Close()
 	for {
 		toks, err := conn.ReadLine()
@@ -289,8 +299,45 @@ func (d *Depot) serveConn(raw net.Conn) {
 
 // dispatch handles one request; it reports whether the connection should
 // continue.
-func (d *Depot) dispatch(conn *wire.Conn, toks []string) bool {
+func (d *Depot) dispatch(conn *connCtx, toks []string) bool {
 	op, args := toks[0], toks[1:]
+	if op == ibp.OpTrace {
+		if err := d.handleTrace(conn, args); err != nil {
+			d.logf("depot %s: %s: %v", d.cfg.Advertised, op, err)
+			return false
+		}
+		return true
+	}
+	if p := conn.pending; p != nil {
+		// The previous exchange armed trace context: measure this operation
+		// as a server span and return the summary as a status-line trailer.
+		conn.pending = nil
+		sp := &ServerSpan{
+			TraceID:   p.traceID,
+			SpanID:    obs.NewSpanID(),
+			Parent:    p.parent,
+			Verb:      op,
+			Start:     d.clock.Now(),
+			QueueWait: conn.queueWait,
+		}
+		conn.queueWait = 0 // charged once per connection
+		conn.span = sp
+		conn.SetStatusTrailer(func() string {
+			sp.Total = d.clock.Since(sp.Start)
+			return obs.WireSpan{
+				SpanID: sp.SpanID, Queue: sp.QueueWait, Backend: sp.Backend,
+				Total: sp.Total, Bytes: sp.Bytes, Violation: sp.Violation,
+			}.EncodeTrailer()
+		})
+		defer func() {
+			conn.span = nil
+			conn.SetStatusTrailer(nil)
+			if sp.Total == 0 {
+				sp.Total = d.clock.Since(sp.Start)
+			}
+			d.spans.add(*sp)
+		}()
+	}
 	var err error
 	switch op {
 	case ibp.OpAllocate:
@@ -438,7 +485,7 @@ func (d *Depot) ReapExpired() int {
 	return len(doomed)
 }
 
-func (d *Depot) handleAllocate(conn *wire.Conn, args []string) error {
+func (d *Depot) handleAllocate(conn *connCtx, args []string) error {
 	if len(args) != 3 {
 		return conn.WriteErr(wire.CodeBadRequest, "ALLOCATE wants <maxsize> <duration> <reliability>")
 	}
@@ -486,7 +533,9 @@ func (d *Depot) handleAllocate(conn *wire.Conn, args []string) error {
 	d.used += maxSize
 	d.mu.Unlock()
 
+	bt := d.clock.Now()
 	handle, err := d.cfg.Backend.Create(key, maxSize)
+	conn.noteBackend(d.clock.Since(bt))
 	if err != nil {
 		d.mu.Lock()
 		d.used -= maxSize
@@ -511,7 +560,7 @@ func (d *Depot) handleAllocate(conn *wire.Conn, args []string) error {
 	return conn.WriteOK(set.Read.String(), set.Write.String(), set.Manage.String())
 }
 
-func (d *Depot) handleStore(conn *wire.Conn, args []string) error {
+func (d *Depot) handleStore(conn *connCtx, args []string) error {
 	if len(args) != 2 {
 		return conn.WriteErr(wire.CodeBadRequest, "STORE wants <writecap> <len>")
 	}
@@ -527,11 +576,13 @@ func (d *Depot) handleStore(conn *wire.Conn, args []string) error {
 	}
 	a, rerr := d.resolve(args[0], ibp.CapWrite)
 	if rerr != nil {
-		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+		return conn.remoteErr(rerr)
 	}
+	bt := d.clock.Now()
 	a.mu.Lock()
 	newLen, err := a.handle.Append(data)
 	a.mu.Unlock()
+	conn.noteBackend(d.clock.Since(bt))
 	if err != nil {
 		if errors.Is(err, ErrAllocFull) {
 			return conn.WriteErr(wire.CodeNoSpace, "append exceeds allocation size %d", a.maxSize)
@@ -540,10 +591,11 @@ func (d *Depot) handleStore(conn *wire.Conn, args []string) error {
 	}
 	d.metrics.Stores.Add(1)
 	d.metrics.BytesIn.Add(int64(len(data)))
+	conn.noteBytes(int64(len(data)))
 	return conn.WriteOK(wire.Itoa(int64(len(data))), wire.Itoa(newLen))
 }
 
-func (d *Depot) handleLoad(conn *wire.Conn, args []string) error {
+func (d *Depot) handleLoad(conn *connCtx, args []string) error {
 	if len(args) != 3 {
 		return conn.WriteErr(wire.CodeBadRequest, "LOAD wants <readcap> <offset> <len>")
 	}
@@ -557,8 +609,9 @@ func (d *Depot) handleLoad(conn *wire.Conn, args []string) error {
 	}
 	a, rerr := d.resolve(args[0], ibp.CapRead)
 	if rerr != nil {
-		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+		return conn.remoteErr(rerr)
 	}
+	bt := d.clock.Now()
 	a.mu.Lock()
 	have := a.handle.Len()
 	if off+n > have {
@@ -568,24 +621,26 @@ func (d *Depot) handleLoad(conn *wire.Conn, args []string) error {
 	buf := make([]byte, n)
 	err = a.handle.ReadAt(buf, off)
 	a.mu.Unlock()
+	conn.noteBackend(d.clock.Since(bt))
 	if err != nil {
 		return conn.WriteErr(wire.CodeInternal, "read failed")
 	}
 	d.metrics.Loads.Add(1)
 	d.metrics.BytesOut.Add(n)
+	conn.noteBytes(n)
 	if err := conn.WriteOK(wire.Itoa(n)); err != nil {
 		return err
 	}
 	return conn.WriteBlob(buf)
 }
 
-func (d *Depot) handleProbe(conn *wire.Conn, args []string) error {
+func (d *Depot) handleProbe(conn *connCtx, args []string) error {
 	if len(args) != 1 {
 		return conn.WriteErr(wire.CodeBadRequest, "PROBE wants <managecap>")
 	}
 	a, rerr := d.resolve(args[0], ibp.CapManage)
 	if rerr != nil {
-		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+		return conn.remoteErr(rerr)
 	}
 	d.metrics.Probes.Add(1)
 	a.mu.Lock()
@@ -599,7 +654,7 @@ func (d *Depot) handleProbe(conn *wire.Conn, args []string) error {
 	)
 }
 
-func (d *Depot) handleExtend(conn *wire.Conn, args []string) error {
+func (d *Depot) handleExtend(conn *connCtx, args []string) error {
 	if len(args) != 2 {
 		return conn.WriteErr(wire.CodeBadRequest, "EXTEND wants <managecap> <duration>")
 	}
@@ -613,7 +668,7 @@ func (d *Depot) handleExtend(conn *wire.Conn, args []string) error {
 	}
 	a, rerr := d.resolve(args[0], ibp.CapManage)
 	if rerr != nil {
-		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+		return conn.remoteErr(rerr)
 	}
 	newExp := d.clock.Now().Add(dur)
 	a.mu.Lock()
@@ -627,13 +682,13 @@ func (d *Depot) handleExtend(conn *wire.Conn, args []string) error {
 	return conn.WriteOK(wire.Itoa(exp.Unix()))
 }
 
-func (d *Depot) handleDelete(conn *wire.Conn, args []string) error {
+func (d *Depot) handleDelete(conn *connCtx, args []string) error {
 	if len(args) != 1 {
 		return conn.WriteErr(wire.CodeBadRequest, "DELETE wants <managecap>")
 	}
 	a, rerr := d.resolve(args[0], ibp.CapManage)
 	if rerr != nil {
-		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+		return conn.remoteErr(rerr)
 	}
 	a.mu.Lock()
 	a.refcount--
@@ -652,7 +707,7 @@ func (d *Depot) handleDelete(conn *wire.Conn, args []string) error {
 // byte array and stores the bytes directly on the destination depot named
 // by the client-supplied WRITE capability. The client never touches the
 // data (paper §2.2's "routing" of files becomes a depot-to-depot move).
-func (d *Depot) handleCopy(conn *wire.Conn, args []string) error {
+func (d *Depot) handleCopy(conn *connCtx, args []string) error {
 	if len(args) != 4 {
 		return conn.WriteErr(wire.CodeBadRequest, "COPY wants <readcap> <offset> <len> <destcap>")
 	}
@@ -670,8 +725,9 @@ func (d *Depot) handleCopy(conn *wire.Conn, args []string) error {
 	}
 	a, rerr := d.resolve(args[0], ibp.CapRead)
 	if rerr != nil {
-		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+		return conn.remoteErr(rerr)
 	}
+	bt := d.clock.Now()
 	a.mu.Lock()
 	have := a.handle.Len()
 	if off+n > have {
@@ -681,6 +737,7 @@ func (d *Depot) handleCopy(conn *wire.Conn, args []string) error {
 	buf := make([]byte, n)
 	err = a.handle.ReadAt(buf, off)
 	a.mu.Unlock()
+	conn.noteBackend(d.clock.Since(bt))
 	if err != nil {
 		return conn.WriteErr(wire.CodeInternal, "read failed")
 	}
@@ -697,7 +754,7 @@ func (d *Depot) handleCopy(conn *wire.Conn, args []string) error {
 // depot-level multicast (IBP's mcopy). Per-destination failures do not
 // fail the whole operation; each result slot is the destination's new
 // length or -1.
-func (d *Depot) handleMCopy(conn *wire.Conn, args []string) error {
+func (d *Depot) handleMCopy(conn *connCtx, args []string) error {
 	if len(args) < 5 {
 		return conn.WriteErr(wire.CodeBadRequest, "MCOPY wants <readcap> <offset> <len> <n> <dst>...")
 	}
@@ -723,8 +780,9 @@ func (d *Depot) handleMCopy(conn *wire.Conn, args []string) error {
 	}
 	a, rerr := d.resolve(args[0], ibp.CapRead)
 	if rerr != nil {
-		return conn.WriteErr(rerr.Code, "%s", rerr.Message)
+		return conn.remoteErr(rerr)
 	}
+	bt := d.clock.Now()
 	a.mu.Lock()
 	have := a.handle.Len()
 	if off+n > have {
@@ -734,6 +792,7 @@ func (d *Depot) handleMCopy(conn *wire.Conn, args []string) error {
 	buf := make([]byte, n)
 	err = a.handle.ReadAt(buf, off)
 	a.mu.Unlock()
+	conn.noteBackend(d.clock.Since(bt))
 	if err != nil {
 		return conn.WriteErr(wire.CodeInternal, "read failed")
 	}
@@ -762,7 +821,7 @@ func (d *Depot) outbound() *ibp.Client {
 	return ibp.NewClient(opts...)
 }
 
-func (d *Depot) handleStatus(conn *wire.Conn) error {
+func (d *Depot) handleStatus(conn *connCtx) error {
 	d.mu.Lock()
 	total, used, n := d.cfg.Capacity, d.used, len(d.allocs)
 	d.mu.Unlock()

@@ -1,8 +1,10 @@
 package depot
 
 import (
+	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
 
 	"repro/internal/obs"
 )
@@ -65,13 +67,34 @@ func (d *Depot) healthy() error {
 	return nil
 }
 
-// ObsMux returns an HTTP mux serving GET /metrics (Prometheus text
-// format) and GET /healthz. The caller owns the listener:
+// ObsMux returns an HTTP mux serving GET /metrics (Prometheus text format,
+// including Go runtime gauges), GET /healthz, and GET /trace/<traceID>
+// (retained server-side spans as JSON). The caller owns the listener:
 //
 //	go http.ListenAndServe(metricsAddr, d.ObsMux())
 func (d *Depot) ObsMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", obs.MetricsHandler(d.PromMetrics))
+	mux.Handle("/metrics", obs.MetricsHandler(func() []obs.Metric {
+		return append(d.PromMetrics(), obs.RuntimeMetrics()...)
+	}))
 	mux.Handle("/healthz", obs.HealthzHandler(d.healthy))
+	mux.Handle("/trace/", http.HandlerFunc(d.serveTrace))
 	return mux
+}
+
+// serveTrace answers /trace/<traceID> with the retained server spans of
+// that trace as a JSON array (404 when none are retained).
+func (d *Depot) serveTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "want /trace/<traceID>", http.StatusBadRequest)
+		return
+	}
+	spans := d.SpansForTrace(id)
+	if len(spans) == 0 {
+		http.Error(w, "no spans retained for trace "+id, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(spans)
 }

@@ -58,7 +58,7 @@ func (d *Depot) Metrics() *Metrics { return &d.metrics }
 const OpMetrics = "METRICS"
 
 // handleMetrics answers METRICS with 13 counters in a fixed order.
-func (d *Depot) handleMetrics(conn *wire.Conn) error {
+func (d *Depot) handleMetrics(conn *connCtx) error {
 	s := d.metrics.Snapshot()
 	return conn.WriteOK(
 		wire.Itoa(s.Allocates), wire.Itoa(s.Stores), wire.Itoa(s.Loads),

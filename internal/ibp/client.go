@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/health"
@@ -24,6 +25,33 @@ type Client struct {
 	pool        *connPool
 	health      *health.Scoreboard
 	obs         obs.Observer
+	span        obs.SpanContext // parent span for this client's operations
+	traces      *traceSupport   // per-depot TRACE support cache, shared across WithSpan copies
+}
+
+// traceSupport remembers which depots rejected the TRACE verb, so a client
+// pays the extra negotiation round trip at most once per old depot.
+type traceSupport struct {
+	mu          sync.Mutex
+	unsupported map[string]bool
+}
+
+func (t *traceSupport) allowed(addr string) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.unsupported[addr]
+}
+
+func (t *traceSupport) markUnsupported(addr string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.unsupported[addr] = true
+	t.mu.Unlock()
 }
 
 // Option configures a Client.
@@ -61,6 +89,21 @@ func WithObserver(o obs.Observer) Option { return func(c *Client) { c.obs = o } 
 // Observer returns the attached event sink, or nil.
 func (c *Client) Observer() obs.Observer { return c.obs }
 
+// WithSpan returns a client whose operations run under the given span:
+// sampled contexts are propagated to depots over the wire (via the TRACE
+// verb, when the depot supports it) and stamped onto emitted events, with
+// sc as the parent span. The returned client shares this client's pool,
+// scoreboard, observer, and trace-support cache — deriving one per extent
+// is cheap.
+func (c *Client) WithSpan(sc obs.SpanContext) *Client {
+	c2 := *c
+	c2.span = sc
+	return &c2
+}
+
+// Span returns the client's current span context (zero when untraced).
+func (c *Client) Span() obs.SpanContext { return c.span }
+
 // NewClient builds a client with the given options.
 func NewClient(opts ...Option) *Client {
 	c := &Client{
@@ -68,6 +111,7 @@ func NewClient(opts ...Option) *Client {
 		clock:       vclock.Real(),
 		dialTimeout: 5 * time.Second,
 		opTimeout:   30 * time.Second,
+		traces:      &traceSupport{unsupported: make(map[string]bool)},
 	}
 	for _, o := range opts {
 		o(c)
@@ -122,6 +166,24 @@ func (c *Client) withConn(verb, addr string, bytes int64, retryable bool, op fun
 // outcome "cancelled". A nil cancel behaves exactly like withConn.
 func (c *Client) withConnCancel(verb, addr string, bytes int64, retryable bool, cancel <-chan struct{}, op func(conn *wire.Conn) error) error {
 	start := c.clock.Now()
+	traced := c.span.Sampled && c.span.Valid()
+	var opSpan, serverTrailer string
+	if traced {
+		opSpan = obs.NewSpanID()
+		inner := op
+		op = func(conn *wire.Conn) error {
+			if err := c.sendTrace(conn, addr, opSpan); err != nil {
+				return err
+			}
+			err := inner(conn)
+			// Grab the depot's span summary before the connection returns to
+			// the pool, and disarm capture so an untraced op reusing the
+			// pooled connection is not surprised by leftover state.
+			serverTrailer = conn.StatusTrailer()
+			conn.CaptureStatusTrailer("")
+			return err
+		}
+	}
 	if cancel != nil {
 		select {
 		case <-cancel:
@@ -156,10 +218,12 @@ func (c *Client) withConnCancel(verb, addr string, bytes int64, retryable bool, 
 	if c.health != nil {
 		if err := c.health.Allow(addr); err != nil {
 			if c.obs != nil {
-				c.obs.Record(obs.Event{
+				ev := obs.Event{
 					Time: start, Verb: verb, Depot: addr,
 					Outcome: "circuit-open", Err: err.Error(),
-				})
+				}
+				c.stampTrace(&ev, opSpan, "")
+				c.obs.Record(ev)
 			}
 			return err
 		}
@@ -184,9 +248,48 @@ func (c *Client) withConnCancel(verb, addr string, bytes int64, retryable bool, 
 		} else {
 			ev.Bytes = bytes
 		}
+		c.stampTrace(&ev, opSpan, serverTrailer)
 		c.obs.Record(ev)
 	}
 	return err
+}
+
+// sendTrace propagates the client's span to the depot ahead of the real
+// operation: "TRACE <traceid> <opspan> 1". A depot that predates the verb
+// answers ERR UNSUPPORTED; the rejection is cached per address and the
+// exchange proceeds untraced on the same connection (unknown verbs do not
+// poison it). On acceptance, trailer capture is armed so the depot's
+// server-span token comes back on the operation's own status line.
+func (c *Client) sendTrace(conn *wire.Conn, addr, opSpan string) error {
+	if !c.traces.allowed(addr) {
+		return nil
+	}
+	if err := conn.WriteLine(OpTrace, c.span.TraceID, opSpan, "1"); err != nil {
+		return err
+	}
+	if _, err := conn.ReadStatus(); err != nil {
+		if wire.IsRemote(err, wire.CodeUnsupported) {
+			c.traces.markUnsupported(addr)
+			return nil
+		}
+		return err
+	}
+	conn.CaptureStatusTrailer(obs.TrailerPrefix)
+	return nil
+}
+
+// stampTrace fills an event's trace-correlation fields when the client is
+// operating under a sampled span.
+func (c *Client) stampTrace(ev *obs.Event, opSpan, serverTrailer string) {
+	if !(c.span.Sampled && c.span.Valid()) {
+		return
+	}
+	ev.Trace = c.span.TraceID
+	ev.Span = opSpan
+	ev.Parent = c.span.SpanID
+	if ws, ok := obs.ParseWireSpan(serverTrailer); ok {
+		ev.Server = &ws
+	}
 }
 
 // exchange is withConn without the health or event bookkeeping. It reports

@@ -14,6 +14,12 @@ const (
 	OpCopy     = "COPY"
 	OpMCopy    = "MCOPY"
 	OpQuit     = "QUIT"
+	// OpTrace precedes another operation on the same connection and carries
+	// trace context ("TRACE <traceid> <parentspan> <flags>"). Depots that
+	// predate it answer ERR UNSUPPORTED and the exchange proceeds untraced —
+	// the request line of the operation itself never changes, which is what
+	// keeps old peers interoperable.
+	OpTrace = "TRACE"
 )
 
 // Reliability expresses how durable an allocation should be (paper §2.1

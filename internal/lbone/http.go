@@ -50,12 +50,15 @@ func (s *Server) healthy() error {
 }
 
 // ObsMux returns an HTTP mux serving GET /metrics (Prometheus text
-// format) and GET /healthz. The caller owns the listener:
+// format, including Go runtime gauges) and GET /healthz. The caller owns
+// the listener:
 //
 //	go http.ListenAndServe(metricsAddr, s.ObsMux())
 func (s *Server) ObsMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", obs.MetricsHandler(s.PromMetrics))
+	mux.Handle("/metrics", obs.MetricsHandler(func() []obs.Metric {
+		return append(s.PromMetrics(), obs.RuntimeMetrics()...)
+	}))
 	mux.Handle("/healthz", obs.HealthzHandler(s.healthy))
 	return mux
 }

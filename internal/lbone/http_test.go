@@ -46,6 +46,7 @@ func TestLBoneMetricsEndpoint(t *testing.T) {
 		"lbone_depots_live 2",
 		"# TYPE lbone_queries_total counter",
 		"# TYPE lbone_depots_live gauge",
+		"go_goroutines",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics body missing %q\n%s", want, body)

@@ -34,6 +34,13 @@ type Event struct {
 	Err     string        // error text ("" on success)
 	Reused  bool          // served on a pooled connection
 	Retried bool          // retried on a fresh dial after a stale pooled conn
+
+	// Trace correlation (empty when the operation was not traced).
+	Trace  string    // trace ID shared across layers
+	Span   string    // this event's span ID
+	Parent string    // parent span ID ("" for the root)
+	Note   string    // free-form detail (extent range, hedge role, ...)
+	Server *WireSpan // depot-reported server-side span, when returned
 }
 
 // OK reports whether the operation succeeded.

@@ -13,9 +13,44 @@ import (
 type Metric struct {
 	Name   string
 	Help   string
-	Type   string // "counter" or "gauge"
+	Type   string // "counter", "gauge", or "histogram"
 	Value  float64
 	Labels []Label
+	Hist   *HistData // set (with Type "histogram") for _bucket/_sum/_count series
+}
+
+// HistData carries one fixed-bound histogram sample: cumulative bucket
+// counts per upper bound (the +Inf bucket is implied by Count), the sum of
+// observations, and their number.
+type HistData struct {
+	Bounds []float64 // ascending upper bounds; len(Counts) == len(Bounds)
+	Counts []uint64  // cumulative count of observations <= Bounds[i]
+	Sum    float64
+	Count  uint64
+}
+
+// DefLatencyBounds is the default latency bucket layout (seconds), spanning
+// LAN round trips through WAN tail stalls.
+var DefLatencyBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// NewHistData buckets samples into the given bounds.
+func NewHistData(bounds, samples []float64) *HistData {
+	h := &HistData{
+		Bounds: bounds,
+		Counts: make([]uint64, len(bounds)),
+	}
+	for _, s := range samples {
+		h.Sum += s
+		h.Count++
+		// Cumulative: bump every bucket whose bound admits the sample.
+		for i := len(bounds) - 1; i >= 0 && s <= bounds[i]; i-- {
+			h.Counts[i]++
+		}
+	}
+	return h
 }
 
 // Label is one name="value" pair on a metric sample.
@@ -45,24 +80,61 @@ func WriteMetrics(b *strings.Builder, ms []Metric) {
 			fmt.Fprintf(b, "# TYPE %s %s\n", name, t)
 		}
 		for _, m := range group {
-			b.WriteString(name)
-			if len(m.Labels) > 0 {
-				b.WriteByte('{')
-				for i, l := range m.Labels {
-					if i > 0 {
-						b.WriteByte(',')
-					}
-					// %q yields exactly the exposition-format label
-					// escapes: backslash, quote, and \n.
-					fmt.Fprintf(b, "%s=%q", l.Name, l.Value)
-				}
-				b.WriteByte('}')
+			if m.Hist != nil {
+				writeHistSample(b, name, m)
+				continue
 			}
+			b.WriteString(name)
+			writeLabels(b, m.Labels, "", "")
 			b.WriteByte(' ')
 			b.WriteString(formatValue(m.Value))
 			b.WriteByte('\n')
 		}
 	}
+}
+
+// writeLabels renders the {a="b",...} label block, optionally appending
+// one extra pair (used for the histogram "le" label). Values use %q, which
+// yields exactly the exposition-format escapes: backslash, quote, and \n.
+func writeLabels(b *strings.Builder, labels []Label, extraName, extraValue string) {
+	if len(labels) == 0 && extraName == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%s=%q", l.Name, l.Value)
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%s=%q", extraName, extraValue)
+	}
+	b.WriteByte('}')
+}
+
+// writeHistSample emits the conventional histogram series triple:
+// name_bucket{...,le="<bound>"} rows (cumulative, ending at le="+Inf"),
+// then name_sum and name_count.
+func writeHistSample(b *strings.Builder, name string, m Metric) {
+	h := m.Hist
+	for i, bound := range h.Bounds {
+		b.WriteString(name + "_bucket")
+		writeLabels(b, m.Labels, "le", formatValue(bound))
+		fmt.Fprintf(b, " %d\n", h.Counts[i])
+	}
+	b.WriteString(name + "_bucket")
+	writeLabels(b, m.Labels, "le", "+Inf")
+	fmt.Fprintf(b, " %d\n", h.Count)
+	b.WriteString(name + "_sum")
+	writeLabels(b, m.Labels, "", "")
+	fmt.Fprintf(b, " %s\n", formatValue(h.Sum))
+	b.WriteString(name + "_count")
+	writeLabels(b, m.Labels, "", "")
+	fmt.Fprintf(b, " %d\n", h.Count)
 }
 
 // formatValue renders a float the way Prometheus expects: integers
@@ -124,6 +196,44 @@ func (c *Collector) CollectorMetrics(prefix string) []Metric {
 		add("op_conn_reuse_total", "Operations served on a pooled connection.", "counter", float64(r.Reused), r.Depot, r.Verb)
 		add("op_latency_seconds_p95", "95th-percentile operation latency over the retained window.", "gauge", r.Latency.P95, r.Depot, r.Verb)
 	}
+	for _, cell := range c.latencyCells() {
+		ms = append(ms, Metric{
+			Name: prefix + "op_latency_seconds",
+			Help: "Operation latency over the retained sample window.",
+			Type: "histogram",
+			Labels: []Label{
+				{"depot", cell.depot}, {"verb", cell.verb},
+			},
+			Hist: NewHistData(DefLatencyBounds, cell.lat),
+		})
+	}
 	sort.SliceStable(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
 	return ms
+}
+
+// latencyCell is one (depot, verb) latency sample set snapshot.
+type latencyCell struct {
+	depot, verb string
+	lat         []float64
+}
+
+// latencyCells copies the retained latency samples per aggregation cell,
+// sorted by depot then verb so exposition order is deterministic.
+func (c *Collector) latencyCells() []latencyCell {
+	c.mu.Lock()
+	cells := make([]latencyCell, 0, len(c.agg))
+	for k, a := range c.agg {
+		cells = append(cells, latencyCell{
+			depot: k.Depot, verb: k.Verb,
+			lat: append([]float64(nil), a.lat...),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].depot != cells[j].depot {
+			return cells[i].depot < cells[j].depot
+		}
+		return cells[i].verb < cells[j].verb
+	})
+	return cells
 }

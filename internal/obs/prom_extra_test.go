@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsHandlerGolden pins the full exposition output for a mixed
+// counter/gauge/histogram set, including label escaping and the bucket
+// triple. Any format drift breaks real Prometheus scrapers, so this is an
+// exact-match test, not a Contains test.
+func TestMetricsHandlerGolden(t *testing.T) {
+	ms := []Metric{
+		{
+			Name: "repro_requests_total", Help: "Requests served.", Type: "counter",
+			Value:  42,
+			Labels: []Label{{Name: "depot", Value: "weird\"depot\\name\nrest"}},
+		},
+		{Name: "repro_temp", Type: "gauge", Value: 1.5},
+		{
+			Name: "repro_lat_seconds", Help: "Latency.", Type: "histogram",
+			Labels: []Label{{Name: "depot", Value: "d:1"}},
+			Hist:   NewHistData([]float64{1, 10, 100}, []float64{0.5, 5, 50, 500}),
+		},
+	}
+	srv := httptest.NewServer(MetricsHandler(func() []Metric { return ms }))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+
+	want := `# HELP repro_requests_total Requests served.
+# TYPE repro_requests_total counter
+repro_requests_total{depot="weird\"depot\\name\nrest"} 42
+# TYPE repro_temp gauge
+repro_temp 1.5
+# HELP repro_lat_seconds Latency.
+# TYPE repro_lat_seconds histogram
+repro_lat_seconds_bucket{depot="d:1",le="1"} 1
+repro_lat_seconds_bucket{depot="d:1",le="10"} 2
+repro_lat_seconds_bucket{depot="d:1",le="100"} 3
+repro_lat_seconds_bucket{depot="d:1",le="+Inf"} 4
+repro_lat_seconds_sum{depot="d:1"} 555.5
+repro_lat_seconds_count{depot="d:1"} 4
+`
+	if string(raw) != want {
+		t.Errorf("exposition output drifted.\ngot:\n%s\nwant:\n%s", raw, want)
+	}
+}
+
+// TestHistogramBucketsCumulative checks NewHistData's bucketing rules:
+// counts are cumulative, a sample exactly on a bound lands in that bucket
+// (le is <=), and over-the-top samples appear only in Count/+Inf.
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := NewHistData([]float64{0.1, 1, 10}, []float64{0.1, 0.1, 0.5, 2, 1000})
+	if got, want := h.Counts, []uint64{2, 3, 4}; !equalU64(got, want) {
+		t.Errorf("Counts = %v, want %v", got, want)
+	}
+	if h.Count != 5 {
+		t.Errorf("Count = %d, want 5", h.Count)
+	}
+	if h.Sum != 0.1+0.1+0.5+2+1000 {
+		t.Errorf("Sum = %v", h.Sum)
+	}
+	empty := NewHistData(DefLatencyBounds, nil)
+	if empty.Count != 0 || len(empty.Counts) != len(DefLatencyBounds) {
+		t.Errorf("empty histogram = %+v", empty)
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validMetricName is the exposition-format grammar for metric and label
+// names.
+var validMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// TestCollectorMetricNamesValid records events under hostile depot
+// addresses and checks that every emitted metric and label NAME stays
+// within the exposition grammar — the address only ever appears as a
+// label VALUE, where escaping handles it.
+func TestCollectorMetricNamesValid(t *testing.T) {
+	col := NewCollector(16)
+	for _, depot := range []string{
+		`127.0.0.1:6714`,
+		`depot with spaces:1`,
+		`quote"back\slash` + "\nnewline:2",
+	} {
+		col.Record(Event{
+			Time: time.Unix(0, 0), Verb: "LOAD", Depot: depot,
+			Latency: 5 * time.Millisecond, Outcome: "success", Bytes: 10,
+		})
+	}
+	ms := col.CollectorMetrics("xnd_ibp_")
+	ms = append(ms, RuntimeMetrics()...)
+	if len(ms) == 0 {
+		t.Fatal("no metrics emitted")
+	}
+	for _, m := range ms {
+		if !validMetricName.MatchString(m.Name) {
+			t.Errorf("invalid metric name %q", m.Name)
+		}
+		for _, l := range m.Labels {
+			if !validMetricName.MatchString(l.Name) {
+				t.Errorf("metric %s: invalid label name %q", m.Name, l.Name)
+			}
+		}
+	}
+
+	// The rendered output must hold one histogram family per (depot, verb)
+	// cell with the hostile values escaped, and still parse line-by-line.
+	var b strings.Builder
+	WriteMetrics(&b, ms)
+	body := b.String()
+	if !strings.Contains(body, `xnd_ibp_op_latency_seconds_bucket{depot="depot with spaces:1",verb="LOAD",le="+Inf"} 1`) {
+		t.Errorf("missing escaped histogram row:\n%s", body)
+	}
+	if strings.Contains(body, "\nnewline") {
+		t.Errorf("raw newline leaked into exposition output:\n%s", body)
+	}
+}
+
+// TestRuntimeMetricsPresent spot-checks the Go runtime gauge set.
+func TestRuntimeMetricsPresent(t *testing.T) {
+	ms := RuntimeMetrics()
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.Name] = true
+	}
+	for _, want := range []string{
+		"go_goroutines",
+		"go_memstats_heap_alloc_bytes",
+		"go_gc_cycles_total",
+	} {
+		if !names[want] {
+			t.Errorf("RuntimeMetrics missing %s (got %v)", want, names)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package stackmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// JSON renders the study as indented JSON, suitable for a state file or
+// a CI artifact.
+func (st Study) JSON() ([]byte, error) {
+	return json.MarshalIndent(st, "", "  ")
+}
+
+// Markdown renders the study as a paper-style availability table — the
+// same shape as the per-segment availability figures in §3 of the paper,
+// one row per depot.
+func (st Study) Markdown() string {
+	var b strings.Builder
+	span := st.Ended.Sub(st.Started)
+	fmt.Fprintf(&b, "Monitoring window: %s → %s (%s, %d sweeps at %s intervals)\n\n",
+		st.Started.Format(time.RFC3339), st.Ended.Format(time.RFC3339),
+		fmtSpan(span), st.Sweeps, st.Interval)
+	b.WriteString("| Depot | Sweeps | Availability | Download success | Mean probe | Mean Mbit/s |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, d := range st.Depots {
+		dl := "—"
+		if d.DataAttempts > 0 {
+			dl = fmt.Sprintf("%.2f%% (%d/%d)", 100*d.DownloadSuccess, d.DataOK, d.DataAttempts)
+		}
+		mbps := "—"
+		if d.DataOK > 0 {
+			mbps = fmt.Sprintf("%.2f", d.MeanMbps)
+		}
+		probe := "—"
+		if d.Up > 0 {
+			probe = d.MeanProbeLatency.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(&b, "| %s | %d | %.2f%% (%d/%d) | %s | %s | %s |\n",
+			d.Addr, d.Sweeps, 100*d.Availability, d.Up, d.Sweeps, dl, probe, mbps)
+	}
+	return b.String()
+}
+
+// fmtSpan renders a study duration compactly (3m20s is noise at this
+// scale; hours and days are the units of the paper's study).
+func fmtSpan(d time.Duration) string {
+	switch {
+	case d >= 48*time.Hour:
+		return fmt.Sprintf("%.1fd", d.Hours()/24)
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	default:
+		return d.Round(time.Second).String()
+	}
+}

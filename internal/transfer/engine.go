@@ -66,6 +66,11 @@ type Config struct {
 	// Clock supplies time (default real; tests and the simulated WAN pass
 	// the virtual clock).
 	Clock vclock.Clock
+	// Observer, when set, receives one obs.Event per hedging decision
+	// (backup launched, winner, loser cancelled), so --trace timelines show
+	// the race itself and not just its surviving IBP operations. Share the
+	// same collector the ibp.Client reports to.
+	Observer obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -221,6 +226,32 @@ type Outcome struct {
 // attempt failed) and the outcomes of the launched attempts. Each attempt
 // holds a concurrency slot for its depot while running.
 func (e *Engine) Hedge(addrs [2]string, run func(idx int, cancel <-chan struct{}) error) (winner int, out [2]*Outcome) {
+	return e.HedgeCtx(obs.SpanContext{}, addrs, run)
+}
+
+// emit records one hedging event. Events carry trace correlation when the
+// race runs under a sampled span; with no observer configured this is a
+// no-op.
+func (e *Engine) emit(sc obs.SpanContext, addr, outcome, note string, lat time.Duration) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	ev := obs.Event{
+		Time: e.cfg.Clock.Now(), Verb: "HEDGE", Depot: addr,
+		Outcome: outcome, Note: note, Latency: lat,
+	}
+	if sc.Sampled && sc.Valid() {
+		ev.Trace = sc.TraceID
+		ev.Span = obs.NewSpanID()
+		ev.Parent = sc.SpanID
+	}
+	e.cfg.Observer.Record(ev)
+}
+
+// HedgeCtx is Hedge running under a span: hedge launch/win/cancel events
+// are recorded against sc so a trace timeline shows the race alongside the
+// IBP operations it spawned.
+func (e *Engine) HedgeCtx(sc obs.SpanContext, addrs [2]string, run func(idx int, cancel <-chan struct{}) error) (winner int, out [2]*Outcome) {
 	type done struct {
 		idx        int
 		err        error
@@ -254,6 +285,7 @@ func (e *Engine) Hedge(addrs [2]string, run func(idx int, cancel <-chan struct{}
 			e.mu.Lock()
 			e.c.HedgesLaunched++
 			e.mu.Unlock()
+			e.emit(sc, addrs[1], "launched", "backup for "+addrs[0], 0)
 		case d := <-results:
 			finished++
 			out[d.idx] = &Outcome{Err: d.err, Start: d.start, End: d.end, Hedged: d.idx == 1}
@@ -263,6 +295,13 @@ func (e *Engine) Hedge(addrs [2]string, run func(idx int, cancel <-chan struct{}
 			if d.err == nil && winner < 0 {
 				winner = d.idx
 				timer = nil // a win makes the pending hedge pointless
+				role := "primary"
+				if d.idx == 1 {
+					role = "backup"
+				}
+				if launched == 2 {
+					e.emit(sc, addrs[d.idx], "win", role, d.end.Sub(d.start))
+				}
 				if launched == 2 && out[1-d.idx] == nil {
 					// The loser is still in flight: cancel it. The loop
 					// keeps waiting so its connection is torn down and its
@@ -274,6 +313,7 @@ func (e *Engine) Hedge(addrs [2]string, run func(idx int, cancel <-chan struct{}
 						e.c.HedgeWins++
 					}
 					e.mu.Unlock()
+					e.emit(sc, addrs[1-d.idx], "cancelled", "lost to "+addrs[d.idx], 0)
 				} else if d.idx == 1 {
 					e.mu.Lock()
 					e.c.HedgeWins++

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+// pipePair returns two framed conns over an in-memory pipe.
+func pipePair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return NewConn(a), NewConn(b)
+}
+
+// TestStatusTrailerRoundTrip: a server arms a one-shot trailer, the
+// client arms capture with the matching prefix; the token rides the OK
+// line invisibly and is peeled before status parsing.
+func TestStatusTrailerRoundTrip(t *testing.T) {
+	client, server := pipePair(t)
+
+	server.SetStatusTrailer(func() string { return "ts=abc:1:2:3:4:0" })
+	go server.WriteOK("100", "200")
+
+	client.CaptureStatusTrailer("ts=")
+	toks, err := client.ReadStatus()
+	if err != nil {
+		t.Fatalf("ReadStatus: %v", err)
+	}
+	if len(toks) != 2 || toks[0] != "100" || toks[1] != "200" {
+		t.Fatalf("status tokens = %v, want the trailer peeled off", toks)
+	}
+	if got := client.StatusTrailer(); got != "ts=abc:1:2:3:4:0" {
+		t.Fatalf("StatusTrailer = %q", got)
+	}
+	if got := client.StatusTrailer(); got != "" {
+		t.Fatalf("StatusTrailer must clear after read, got %q", got)
+	}
+}
+
+// TestStatusTrailerOneShot: the armed trailer fires on exactly one status
+// line; the next write is clean.
+func TestStatusTrailerOneShot(t *testing.T) {
+	client, server := pipePair(t)
+	server.SetStatusTrailer(func() string { return "ts=once:0:0:0:0:0" })
+
+	go func() {
+		server.WriteOK("1")
+		server.WriteOK("2")
+	}()
+	client.CaptureStatusTrailer("ts=")
+	if _, err := client.ReadStatus(); err != nil {
+		t.Fatal(err)
+	}
+	if got := client.StatusTrailer(); got == "" {
+		t.Fatal("first status should carry the trailer")
+	}
+	toks, err := client.ReadStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0] != "2" {
+		t.Fatalf("second status = %v, want just the payload token", toks)
+	}
+	if got := client.StatusTrailer(); got != "" {
+		t.Fatalf("second status must carry no trailer, got %q", got)
+	}
+}
+
+// TestStatusTrailerOldPeerInvisible: with neither side armed, status
+// lines are byte-identical to the classic protocol, and a client that
+// captures against a server that never arms sees nothing peeled.
+func TestStatusTrailerOldPeerInvisible(t *testing.T) {
+	client, server := pipePair(t)
+	go server.WriteOK("100", "0", "3600", "4")
+
+	client.CaptureStatusTrailer("ts=")
+	toks, err := client.ReadStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 {
+		t.Fatalf("tokens = %v, want all 4 (nothing to peel)", toks)
+	}
+	if got := client.StatusTrailer(); got != "" {
+		t.Fatalf("trailer = %q, want none", got)
+	}
+}
+
+// TestStatusTrailerBareOKNotConsumed: a bare "OK" has no payload tokens
+// at all — the peel must never eat the status word itself.
+func TestStatusTrailerBareOKNotConsumed(t *testing.T) {
+	client, server := pipePair(t)
+	go server.WriteOK()
+	client.CaptureStatusTrailer("ts=")
+	toks, err := client.ReadStatus()
+	if err != nil {
+		t.Fatalf("bare OK: %v", err)
+	}
+	if len(toks) != 0 {
+		t.Fatalf("bare OK tokens = %v", toks)
+	}
+}
+
+// TestStatusTrailerOnErr: the trailer also rides ERR lines (a traced
+// operation that fails still reports its server span), without breaking
+// RemoteError parsing.
+func TestStatusTrailerOnErr(t *testing.T) {
+	client, server := pipePair(t)
+	server.SetStatusTrailer(func() string { return "ts=err:0:0:9:0:1" })
+	go server.WriteErr(CodeDenied, "capability rejected")
+
+	client.CaptureStatusTrailer("ts=")
+	_, err := client.ReadStatus()
+	if err == nil {
+		t.Fatal("want remote error")
+	}
+	if !IsRemote(err, CodeDenied) {
+		t.Fatalf("err = %v, want DENIED", err)
+	}
+	if !strings.Contains(err.Error(), "capability rejected") {
+		t.Fatalf("err = %v, message mangled", err)
+	}
+	if got := client.StatusTrailer(); got != "ts=err:0:0:9:0:1" {
+		t.Fatalf("trailer on ERR = %q", got)
+	}
+}
+
+// TestStatusTrailerEmptyFnOmitted: an armed trailer returning "" adds
+// nothing to the line.
+func TestStatusTrailerEmptyFnOmitted(t *testing.T) {
+	client, server := pipePair(t)
+	server.SetStatusTrailer(func() string { return "" })
+	go server.WriteOK("7")
+	client.CaptureStatusTrailer("ts=")
+	toks, err := client.ReadStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0] != "7" {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if got := client.StatusTrailer(); got != "" {
+		t.Fatalf("trailer = %q, want none", got)
+	}
+}

@@ -35,6 +35,15 @@ type Conn struct {
 	raw net.Conn
 	br  *bufio.Reader
 	bw  *bufio.Writer
+
+	// Status-line trailer support (trace propagation). A server arms
+	// trailerFn to append one extra token to its next status line; a client
+	// arms capturePrefix to peel a matching trailing token off status lines
+	// before they are parsed. Peers that arm neither are untouched, which is
+	// what keeps the trace extension invisible to old clients and depots.
+	trailerFn     func() string
+	capturePrefix string
+	captured      string
 }
 
 // NewConn wraps a network connection with protocol framing.
@@ -224,14 +233,50 @@ func IsRemote(err error, code string) bool {
 	return errors.As(err, &re) && re.Code == code
 }
 
+// SetStatusTrailer arms f to supply one extra token appended to the next
+// status line written via WriteOK or WriteErr, after which the trailer is
+// disarmed. f runs at write time, so it can summarize the whole exchange
+// (the depot uses this to return its server-side span). An empty return
+// suppresses the token.
+func (c *Conn) SetStatusTrailer(f func() string) { c.trailerFn = f }
+
+// appendStatusTrailer consumes an armed trailer into the token list.
+func (c *Conn) appendStatusTrailer(tokens []string) []string {
+	f := c.trailerFn
+	if f == nil {
+		return tokens
+	}
+	c.trailerFn = nil
+	if tok := f(); tok != "" {
+		tokens = append(tokens, tok)
+	}
+	return tokens
+}
+
+// CaptureStatusTrailer arms trailer capture: ReadStatus will peel a final
+// status-line token starting with prefix (if present) before parsing, and
+// stash it for StatusTrailer. An empty prefix disarms capture.
+func (c *Conn) CaptureStatusTrailer(prefix string) {
+	c.capturePrefix = prefix
+	c.captured = ""
+}
+
+// StatusTrailer returns the most recently captured trailer token ("" when
+// none arrived) and clears it.
+func (c *Conn) StatusTrailer() string {
+	t := c.captured
+	c.captured = ""
+	return t
+}
+
 // WriteOK writes an "OK" status line with optional extra tokens.
 func (c *Conn) WriteOK(tokens ...string) error {
-	return c.WriteLine(append([]string{"OK"}, tokens...)...)
+	return c.WriteLine(c.appendStatusTrailer(append([]string{"OK"}, tokens...))...)
 }
 
 // WriteErr writes an "ERR <code> <quoted message>" status line.
 func (c *Conn) WriteErr(code, format string, args ...any) error {
-	return c.WriteLine("ERR", code, Quote(fmt.Sprintf(format, args...)))
+	return c.WriteLine(c.appendStatusTrailer([]string{"ERR", code, Quote(fmt.Sprintf(format, args...))})...)
 }
 
 // ReadStatus reads a status line. On "OK" it returns the remaining tokens;
@@ -243,6 +288,11 @@ func (c *Conn) ReadStatus() ([]string, error) {
 	}
 	if len(toks) == 0 {
 		return nil, errors.New("wire: empty status line")
+	}
+	if c.capturePrefix != "" && len(toks) >= 2 &&
+		strings.HasPrefix(toks[len(toks)-1], c.capturePrefix) {
+		c.captured = toks[len(toks)-1]
+		toks = toks[:len(toks)-1]
 	}
 	switch toks[0] {
 	case "OK":
