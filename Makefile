@@ -2,7 +2,7 @@
 # suite, then race-detector runs of the concurrency-heavy packages
 # (parallel transfers in core, connection pool + shared health scoreboard
 # in ibp, depot metric counters, lbone registry, the obs collector).
-.PHONY: tier1 build vet staticcheck test race bench stackmon-smoke
+.PHONY: tier1 build vet staticcheck test race bench stackmon-smoke slo-smoke
 
 tier1: build vet staticcheck test race
 
@@ -27,7 +27,8 @@ test:
 race:
 	go test -race repro/internal/core repro/internal/ibp repro/internal/health \
 		repro/internal/depot repro/internal/lbone repro/internal/obs \
-		repro/internal/transfer repro/internal/faultnet repro/internal/stackmon
+		repro/internal/transfer repro/internal/faultnet repro/internal/stackmon \
+		repro/internal/slo
 
 # End-to-end transfer benchmarks → BENCH_upload_download.json
 # (ns/op and MB/s per bench; raw bench log stays on stderr), plus the
@@ -52,3 +53,15 @@ stackmon-smoke:
 		-json STACKMON_study.json
 	go run ./cmd/stackmon report -in STACKMON_study.json
 	@echo "wrote STACKMON_study.json"
+
+# SLO smoke: the same scripted-outage simulation with burn-rate objectives
+# enabled — the outage must surface as alert firings (→ SLO_alerts.json) —
+# plus the end-to-end observability test, which rides a striped+replicated
+# download through a depot outage and cuts the postmortem bundle into the
+# working directory (→ POSTMORTEM_<trace>.json) for CI to archive.
+slo-smoke:
+	go run ./cmd/stackmon sim -depots 4 -duration 14h -interval 5m \
+		-outages 'D02:6h-9h' -slo -slo-out SLO_alerts.json
+	POSTMORTEM_DIR=$(CURDIR) go test -count=1 \
+		-run TestOutageFiresAlertAndCutsMatchingBundle ./internal/slo/
+	@echo "wrote SLO_alerts.json and POSTMORTEM_*.json"

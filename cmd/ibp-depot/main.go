@@ -11,7 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,34 +38,45 @@ func main() {
 		site        = flag.String("site", "UTK", "site name for proximity resolution (see internal/geo)")
 		heartbeat   = flag.Duration("heartbeat", time.Minute, "L-Bone heartbeat interval")
 		reapEvery   = flag.Duration("reap", time.Minute, "expired-allocation sweep interval")
-		metricsAddr = flag.String("metrics-listen", "", "serve /metrics and /healthz over HTTP on this address (e.g. :9714; empty = off)")
+		metricsAddr = flag.String("metrics-listen", "", "serve /metrics, /healthz, /trace/<id>, and /postmortem/<trace> over HTTP on this address (e.g. :9714; empty = off)")
 		pprofOn     = flag.Bool("pprof", false, "also serve /debug/pprof on the metrics listener")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON (default: human-readable text)")
+		pmDir       = flag.String("postmortem-dir", "", "write panic postmortem bundles to this directory (empty = keep in memory only)")
 	)
 	flag.Parse()
 
-	secret, err := loadSecret(*secretFile)
+	recorder := obs.NewFlightRecorder(0)
+	logger := obs.NewLogger(obs.LogConfig{JSON: *logJSON, Component: "ibp-depot", Recorder: recorder})
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
+	secret, err := loadSecret(*secretFile, logger)
 	if err != nil {
-		log.Fatalf("ibp-depot: %v", err)
+		fatal("loading secret", err)
 	}
 	cfg := depot.Config{
-		Advertised:  *advertised,
-		Secret:      secret,
-		Capacity:    *capacity,
-		MaxDuration: *maxDuration,
-		Logger:      log.New(os.Stderr, "depot: ", log.LstdFlags),
+		Advertised:    *advertised,
+		Secret:        secret,
+		Capacity:      *capacity,
+		MaxDuration:   *maxDuration,
+		Logger:        logger,
+		Recorder:      recorder,
+		PostmortemDir: *pmDir,
 	}
 	if *dir != "" {
 		backend, err := depot.NewFileBackend(*dir)
 		if err != nil {
-			log.Fatalf("ibp-depot: %v", err)
+			fatal("opening file backend", err)
 		}
 		cfg.Backend = backend
 	}
 	d, err := depot.Serve(*listen, cfg)
 	if err != nil {
-		log.Fatalf("ibp-depot: %v", err)
+		fatal("serve", err)
 	}
-	log.Printf("ibp-depot: serving %d bytes on %s (capabilities name %s)", *capacity, d.Addr(), d.Advertised())
+	logger.Info("serving", "capacity_bytes", *capacity, "addr", d.Addr(), "advertised", d.Advertised())
 
 	if *metricsAddr != "" {
 		mux := d.ObsMux()
@@ -73,9 +84,9 @@ func main() {
 			obs.AttachPprof(mux)
 		}
 		go func() {
-			log.Printf("ibp-depot: metrics on http://%s/metrics", *metricsAddr)
+			logger.Info("metrics listening", "url", "http://"+*metricsAddr+"/metrics")
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
-				log.Printf("ibp-depot: metrics listener: %v", err)
+				logger.Error("metrics listener", "err", err)
 			}
 		}()
 	}
@@ -89,7 +100,7 @@ func main() {
 		defer t.Stop()
 		for range t.C {
 			if n := d.ReapExpired(); n > 0 {
-				log.Printf("ibp-depot: reaped %d expired allocations", n)
+				logger.Info("reaped expired allocations", "n", n)
 			}
 		}
 	}()
@@ -98,7 +109,7 @@ func main() {
 	if *lboneAddr != "" {
 		siteInfo, ok := geo.LookupSite(*site)
 		if !ok {
-			log.Fatalf("ibp-depot: unknown site %q", *site)
+			fatal("unknown site", fmt.Errorf("%q", *site))
 		}
 		client := lbone.NewClient(*lboneAddr)
 		info := lbone.DepotInfo{
@@ -110,37 +121,37 @@ func main() {
 			MaxDuration: *maxDuration,
 		}
 		if err := client.Register(info); err != nil {
-			log.Fatalf("ibp-depot: registering with L-Bone: %v", err)
+			fatal("registering with L-Bone", err)
 		}
-		log.Printf("ibp-depot: registered with L-Bone at %s as %s/%s", *lboneAddr, *name, siteInfo.Name)
+		logger.Info("registered with L-Bone", "lbone", *lboneAddr, "name", *name, "site", siteInfo.Name)
 		go func() {
 			t := time.NewTicker(*heartbeat)
 			defer t.Stop()
 			for range t.C {
 				if err := client.Heartbeat(info.Addr); err != nil {
-					log.Printf("ibp-depot: heartbeat: %v", err)
+					logger.Warn("heartbeat failed", "err", err)
 				}
 			}
 		}()
 	}
 
 	<-stop
-	log.Printf("ibp-depot: shutting down")
+	logger.Info("shutting down")
 	if err := d.Close(); err != nil {
-		log.Fatalf("ibp-depot: close: %v", err)
+		fatal("close", err)
 	}
 }
 
 // loadSecret reads the signing secret, generating an ephemeral one when no
 // file is configured (capabilities then die with the process, which is
 // fine for testing).
-func loadSecret(path string) ([]byte, error) {
+func loadSecret(path string, logger *slog.Logger) ([]byte, error) {
 	if path == "" {
 		key, err := ibp.NewKey()
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintln(os.Stderr, "ibp-depot: using an ephemeral secret; capabilities will not survive restarts")
+		logger.Warn("using an ephemeral secret; capabilities will not survive restarts")
 		return []byte(key), nil
 	}
 	b, err := os.ReadFile(path)

@@ -9,7 +9,6 @@ package main
 
 import (
 	"flag"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,40 +27,44 @@ func main() {
 		poll        = flag.Duration("poll", 0, "refresh depot capacities via STATUS at this interval (0 = off)")
 		metricsAddr = flag.String("metrics-listen", "", "serve /metrics and /healthz over HTTP on this address (e.g. :9767; empty = off)")
 		pprofOn     = flag.Bool("pprof", false, "also serve /debug/pprof on the metrics listener")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON (default: human-readable text)")
 	)
 	flag.Parse()
 
+	logger := obs.NewLogger(obs.LogConfig{JSON: *logJSON, Component: "lbone-server"})
 	s, err := lbone.ServeRegistry(*listen, lbone.ServerConfig{
 		TTL:    *ttl,
-		Logger: log.New(os.Stderr, "lbone: ", log.LstdFlags),
+		Logger: logger,
 	})
 	if err != nil {
-		log.Fatalf("lbone-server: %v", err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("lbone-server: listening on %s (ttl %v)", s.Addr(), *ttl)
+	logger.Info("listening", "addr", s.Addr(), "ttl", *ttl)
 	if *metricsAddr != "" {
 		mux := s.ObsMux()
 		if *pprofOn {
 			obs.AttachPprof(mux)
 		}
 		go func() {
-			log.Printf("lbone-server: metrics on http://%s/metrics", *metricsAddr)
+			logger.Info("metrics listening", "url", "http://"+*metricsAddr+"/metrics")
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
-				log.Printf("lbone-server: metrics listener: %v", err)
+				logger.Error("metrics listener", "err", err)
 			}
 		}()
 	}
 	if *poll > 0 {
 		p := s.StartPoller(ibp.NewClient(), *poll)
 		defer p.Stop()
-		log.Printf("lbone-server: polling depot capacities every %v", *poll)
+		logger.Info("polling depot capacities", "interval", *poll)
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("lbone-server: shutting down")
+	logger.Info("shutting down")
 	if err := s.Close(); err != nil {
-		log.Fatalf("lbone-server: close: %v", err)
+		logger.Error("close", "err", err)
+		os.Exit(1)
 	}
 }

@@ -9,33 +9,37 @@ package main
 
 import (
 	"flag"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/nws"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
 		listen  = flag.String("listen", "127.0.0.1:6770", "address to listen on")
 		history = flag.Int("history", 512, "raw measurements retained per series")
+		logJSON = flag.Bool("log-json", false, "emit structured logs as JSON (default: human-readable text)")
 	)
 	flag.Parse()
 
 	svc := nws.NewService(nil, *history)
-	s, err := nws.ServeNWS(*listen, svc, log.New(os.Stderr, "nws: ", log.LstdFlags))
+	logger := obs.NewLogger(obs.LogConfig{JSON: *logJSON, Component: "nws-server"})
+	s, err := nws.ServeNWS(*listen, svc, logger)
 	if err != nil {
-		log.Fatalf("nws-server: %v", err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("nws-server: listening on %s", s.Addr())
+	logger.Info("listening", "addr", s.Addr())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("nws-server: shutting down")
+	logger.Info("shutting down")
 	if err := s.Close(); err != nil {
-		log.Fatalf("nws-server: close: %v", err)
+		logger.Error("close", "err", err)
+		os.Exit(1)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/ibp"
 	"repro/internal/lbone"
 	"repro/internal/obs"
+	"repro/internal/slo"
 	"repro/internal/stackmon"
 )
 
@@ -78,14 +79,22 @@ func cmdRun(args []string) error {
 		pprofOn     = fs.Bool("pprof", false, "also serve /debug/pprof on the metrics listener")
 		stateOut    = fs.String("state-out", "", "write the study (JSON, sample detail included) here on exit and every sweep")
 		maxSamples  = fs.Int("max-samples", stackmon.DefMaxSamples, "retained samples per depot")
+		sloOn       = fs.Bool("slo", false, "evaluate SLO burn-rate alerts each sweep and serve them at /slo")
 	)
 	fs.Parse(args)
 
 	cfg := stackmon.Config{
-		Client: ibp.NewClient(ibp.WithOpTimeout(*opTimeout)),
+		Client:   ibp.NewClient(ibp.WithOpTimeout(*opTimeout)),
 		Interval: *interval, Payload: *payload, Duration: *allocFor,
 		MaxSamples: *maxSamples,
 		Logf:       log.Printf,
+	}
+	if *sloOn {
+		cfg.SLO = slo.New(slo.Config{
+			Objectives: slo.DefaultObjectives(),
+			Bucket:     *interval,
+			Logger:     obs.NewLogger(obs.LogConfig{Component: "stackmon"}),
+		})
 	}
 	if *depots != "" {
 		for _, a := range strings.Split(*depots, ",") {
@@ -175,6 +184,8 @@ func cmdSim(args []string) error {
 		seed     = fs.Int64("seed", 1, "deterministic seed for link jitter")
 		outages  = fs.String("outages", "", `scripted outages as "NAME:FROM-TO,..." offsets, e.g. "D02:6h-9h,D05:1h-3h"`)
 		jsonOut  = fs.String("json", "", "also write the full study as JSON here")
+		sloOn    = fs.Bool("slo", false, "evaluate SLO burn-rate alerts against the sweep results")
+		sloOut   = fs.String("slo-out", "", "with -slo, write alert firings as JSON here")
 		verbose  = fs.Bool("v", false, "log depot state transitions")
 	)
 	fs.Parse(args)
@@ -182,6 +193,9 @@ func cmdSim(args []string) error {
 	cfg := stackmon.SimConfig{
 		Duration: *duration, Interval: *interval,
 		Payload: *payload, ProbeOnly: *probes, Seed: *seed,
+	}
+	if *sloOn || *sloOut != "" {
+		cfg.Objectives = slo.DefaultObjectives()
 	}
 	if *nDepots != 14 {
 		cfg.Depots = make([]string, *nDepots)
@@ -198,7 +212,7 @@ func cmdSim(args []string) error {
 	}
 
 	start := time.Now()
-	st, addrOf, err := stackmon.RunSim(cfg)
+	st, addrOf, engine, err := stackmon.RunSimSLO(cfg)
 	if err != nil {
 		return err
 	}
@@ -214,6 +228,35 @@ func cmdSim(args []string) error {
 	sort.Slice(st.Depots, func(i, j int) bool { return st.Depots[i].Addr < st.Depots[j].Addr })
 	log.Printf("simulated %v of monitoring in %v wall time", *duration, time.Since(start).Round(time.Millisecond))
 	fmt.Print(st.Markdown())
+	if engine != nil {
+		firings := engine.Firings()
+		// Report alerts under depot names, not the synthetic sim addresses.
+		for i := range firings {
+			if n := nameOf[firings[i].Key]; n != "" {
+				firings[i].Key = n
+			}
+		}
+		log.Printf("slo: %d alert firing(s) over %v", len(firings), *duration)
+		for _, f := range firings {
+			resolved := "still firing"
+			if !f.ResolvedAt.IsZero() {
+				resolved = "resolved " + f.ResolvedAt.UTC().Format(time.RFC3339)
+			}
+			log.Printf("slo: [%s] %s/%s key=%s burn=%.1f fired %s, %s",
+				f.Severity, f.Objective, f.Rule, f.Key, f.PeakBurn,
+				f.FiredAt.UTC().Format(time.RFC3339), resolved)
+		}
+		if *sloOut != "" {
+			b, err := json.MarshalIndent(firings, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*sloOut, append(b, '\n'), 0o644); err != nil {
+				return err
+			}
+			log.Printf("slo: firings written to %s", *sloOut)
+		}
+	}
 	if *jsonOut != "" {
 		if err := writeStudy(*jsonOut, st); err != nil {
 			return err

@@ -15,10 +15,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strconv"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/nws"
 	"repro/internal/obs"
 	"repro/internal/sealing"
+	"repro/internal/slo"
 	"repro/internal/transfer"
 )
 
@@ -49,10 +52,36 @@ var (
 	rootSpan obs.SpanContext
 )
 
+// The always-on observability plane: every invocation keeps a flight
+// recorder of recent log records and IBP/hedge/breaker events, feeds an
+// SLO engine, and tracks NWS forecast error. On failure the recorder is
+// cut into a postmortem bundle (written to -postmortem-dir or
+// $XND_POSTMORTEM_DIR when set).
+var (
+	logJSON       bool
+	postmortemDir string
+	recorder      *obs.FlightRecorder
+	forecasts     *obs.ForecastTracker
+	sloEngine     *slo.Engine
+	logger        *slog.Logger
+	lastTools     *core.Tools
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("xnd: ")
-	args := stripTraceFlag(os.Args[1:])
+	args := stripGlobalFlags(os.Args[1:])
+	if postmortemDir == "" {
+		postmortemDir = os.Getenv("XND_POSTMORTEM_DIR")
+	}
+	recorder = obs.NewFlightRecorder(0)
+	forecasts = obs.NewForecastTracker(recorder)
+	logger = obs.NewLogger(obs.LogConfig{JSON: logJSON, Component: "xnd", Recorder: recorder})
+	sloEngine = slo.New(slo.Config{
+		Objectives: slo.DefaultObjectives(),
+		Logger:     logger,
+		Recorder:   recorder,
+	})
 	if len(args) < 1 {
 		usage()
 	}
@@ -83,27 +112,86 @@ func main() {
 		err = cmdHealth(args)
 	case "metrics":
 		err = cmdMetrics(args)
+	case "slo":
+		err = cmdSlo(args)
 	default:
 		usage()
 	}
 	dumpTrace()
 	if err != nil {
+		cutPostmortem(err)
 		log.Fatal(err)
 	}
 }
 
-// stripTraceFlag removes -trace/--trace anywhere on the command line (it is
-// a mode of the whole invocation, not of one subcommand) and remembers it.
-func stripTraceFlag(args []string) []string {
+// stripGlobalFlags removes whole-invocation flags anywhere on the command
+// line (they are modes of the run, not of one subcommand): -trace,
+// -log-json, and -postmortem-dir DIR (or -postmortem-dir=DIR).
+func stripGlobalFlags(args []string) []string {
 	out := args[:0:0]
-	for _, a := range args {
-		if a == "-trace" || a == "--trace" {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name, val, hasVal := strings.Cut(strings.TrimPrefix(a, "-"), "=")
+		switch "-" + strings.TrimPrefix(name, "-") {
+		case "-trace":
 			traceOn = true
+			continue
+		case "-log-json":
+			logJSON = true
+			continue
+		case "-postmortem-dir":
+			if hasVal {
+				postmortemDir = val
+			} else if i+1 < len(args) {
+				i++
+				postmortemDir = args[i]
+			}
 			continue
 		}
 		out = append(out, a)
 	}
 	return out
+}
+
+// cutPostmortem stores and (when a directory is configured) writes a
+// postmortem bundle for a failed invocation: the flight-recorder timeline,
+// breaker snapshots, and the forecast-error samples for the depots the
+// command touched.
+func cutPostmortem(cmdErr error) {
+	if recorder == nil {
+		return
+	}
+	b := obs.Bundle{
+		Reason:    "nonzero-exit",
+		Component: "xnd",
+		CreatedAt: time.Now(),
+		Err:       cmdErr.Error(),
+		Entries:   recorder.Recent(0),
+	}
+	if rootSpan.Valid() {
+		b.Trace = rootSpan.TraceID
+	}
+	if lastTools != nil && lastTools.Health != nil {
+		for _, d := range lastTools.Health.Snapshot() {
+			b.Breakers = append(b.Breakers, obs.BreakerSnap{
+				Addr: d.Addr, State: d.State.String(), Score: d.Score,
+				Trips: int64(d.Trips), Reclosed: d.Reclosed, RetryAt: d.RetryAt,
+			})
+		}
+	}
+	if forecasts != nil {
+		b.Forecasts = forecasts.RecentFor(b.Depots())
+	}
+	recorder.StoreBundle(b)
+	if postmortemDir == "" {
+		return
+	}
+	path, err := obs.WriteBundle(postmortemDir, b)
+	if err != nil {
+		log.Printf("postmortem: %v", err)
+		return
+	}
+	log.Printf("postmortem bundle written to %s", path)
 }
 
 // dumpTrace prints the recorded operation events and per-depot aggregates
@@ -139,9 +227,13 @@ commands:
   status    query a depot's capacity and limits
   health    probe depots and print the health scoreboard
   metrics   fetch a depot's operation counters (METRICS verb)
+  slo       render SLO status: local objectives, or a daemon's /slo endpoint
 
 --trace records every IBP operation and prints per-transfer timelines
-(including failed attempts) plus per-depot latency aggregates to stderr.`)
+(including failed attempts) plus per-depot latency aggregates to stderr.
+--log-json switches structured logs from human text to JSON lines.
+--postmortem-dir DIR (or $XND_POSTMORTEM_DIR) writes a postmortem bundle
+(flight-recorder timeline, breaker states, forecast errors) on failure.`)
 	os.Exit(2)
 }
 
@@ -193,18 +285,33 @@ func (c *commonFlags) tools() (*core.Tools, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown site %q", *c.site)
 	}
-	sb := health.New(health.Config{})
+	sb := health.New(health.Config{
+		// Breaker transitions land in the flight recorder so a postmortem
+		// bundle shows when each depot's circuit opened and re-closed.
+		OnTransition: func(addr string, from, to health.State, at time.Time) {
+			recorder.BreakerTransition(addr, from.String(), to.String(), at)
+		},
+	})
 	opts := []ibp.Option{ibp.WithOpTimeout(*c.timeout), ibp.WithHealth(sb)}
+	// Every IBP op feeds the flight recorder and the SLO engine; the trace
+	// collector joins in only under --trace. (A nil *Collector must not
+	// reach Tee as a typed-nil Observer, so it is added conditionally.)
+	tees := []obs.Observer{recorder, slo.ObserveIBP(sloEngine)}
 	if traceOn {
 		traceCol = obs.NewCollector(obs.DefaultRingSize)
-		opts = append(opts, ibp.WithObserver(traceCol))
+		tees = append(tees, traceCol)
 	}
+	observer := obs.Tee(tees...)
+	opts = append(opts, ibp.WithObserver(observer))
 	t := &core.Tools{
-		IBP:    ibp.NewClient(opts...),
-		Site:   site.Name,
-		Loc:    site.Loc,
-		Health: sb,
+		IBP:      ibp.NewClient(opts...),
+		Site:     site.Name,
+		Loc:      site.Loc,
+		Health:   sb,
+		Logger:   logger,
+		Forecast: forecasts,
 	}
+	lastTools = t
 	if *c.lbone != "" {
 		t.LBone = lbone.NewClient(*c.lbone)
 	}
@@ -221,11 +328,11 @@ func (c *commonFlags) tools() (*core.Tools, error) {
 		HedgeAfter:  *c.hedgeAfter,
 		MaxPerDepot: *c.maxPerDepot,
 		Health:      sb,
-	}
-	if traceCol != nil {
+		Logger:      logger,
 		// Hedge launches/wins/cancellations join the same event stream as
-		// the IBP ops, so traced downloads show the racing attempts.
-		engCfg.Observer = traceCol
+		// the IBP ops, so traced downloads show the racing attempts and
+		// the flight recorder keeps them for postmortems.
+		Observer: observer,
 	}
 	if src := t.NWS; src != nil {
 		engCfg.Forecast = func(addr string) (float64, bool) {
@@ -240,8 +347,12 @@ func (c *commonFlags) tools() (*core.Tools, error) {
 			if traceCol != nil {
 				ms = append(ms, traceCol.CollectorMetrics("xnd_ibp_")...)
 			}
+			ms = append(ms, forecasts.Metrics()...)
+			ms = append(ms, sloEngine.Metrics()...)
 			return append(ms, obs.RuntimeMetrics()...)
 		}))
+		mux.Handle("/slo", sloEngine.Handler())
+		mux.Handle("/postmortem/", obs.PostmortemHandler(recorder, "xnd", time.Now))
 		if *c.pprofOn {
 			obs.AttachPprof(mux)
 		}
@@ -824,5 +935,47 @@ func cmdMetrics(args []string) error {
 	for _, r := range rows {
 		fmt.Printf("  %-14s %d\n", r.name, r.v)
 	}
+	return nil
+}
+
+// cmdSlo renders SLO status. With a metrics address it fetches that
+// daemon's /slo endpoint (an ibp-depot or stackmon metrics listener);
+// without one it renders this invocation's local engine — mostly useful
+// to inspect the declared objectives and burn-rate alert rules.
+func cmdSlo(args []string) error {
+	fs := flag.NewFlagSet("slo", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit raw status JSON instead of the rendered report")
+	fs.Parse(args)
+	if fs.NArg() > 1 {
+		return fmt.Errorf("slo wants at most one metrics address (host:port)")
+	}
+	st := sloEngine.Snapshot()
+	if fs.NArg() == 1 {
+		url := fs.Arg(0)
+		if !strings.Contains(url, "://") {
+			url = "http://" + url + "/slo"
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		st = slo.Status{}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return fmt.Errorf("parsing %s: %w", url, err)
+		}
+	}
+	if *asJSON {
+		b, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+	fmt.Print(slo.Render(st))
 	return nil
 }

@@ -276,7 +276,7 @@ func (t *Tools) fetchExtent(x *exnode.ExNode, ext exnode.Extent, dst []byte, opt
 				ev := obs.Event{
 					Time: t0, Verb: "EXTENT", Latency: t.clock().Since(t0),
 					Trace: sc.TraceID, Span: sc.SpanID, Parent: opts.Span.SpanID,
-					Note: fmt.Sprintf("[%d,%d)", ext.Start, ext.End),
+					Note:  fmt.Sprintf("[%d,%d)", ext.Start, ext.End),
 					Depot: er.Addr, Outcome: "success",
 				}
 				if er.Err != nil {
@@ -437,6 +437,13 @@ func (t *Tools) attemptLoad(m *exnode.Mapping, ext exnode.Extent, opts DownloadO
 	// bandwidth sensor.
 	if t.NWS != nil && elapsed > 0 {
 		mbits := float64(ext.Len()*8) / 1e6 / elapsed.Seconds()
+		// Score the forecast against the measurement it steered before the
+		// measurement itself updates the series.
+		if t.Forecast != nil {
+			if predicted, ok := t.NWS.Forecast(t.Site, m.Read.Addr, nws.Bandwidth); ok {
+				t.Forecast.Observe(t.Site, m.Read.Addr, predicted, mbits, t.clock().Now())
+			}
+		}
 		t.NWS.Record(t.Site, m.Read.Addr, nws.Bandwidth, mbits)
 	}
 	// End-to-end verification is possible when the extent spans the whole

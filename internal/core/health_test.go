@@ -38,7 +38,7 @@ func (e *env) healthTools(site geo.Site, sb *health.Scoreboard) *Tools {
 // the surviving replica without re-paying the timeout.
 func TestDownloadBreakerSkipsDeadDepot(t *testing.T) {
 	e := newEnv(t)
-	e.addDepot("near", geo.UNC, nil)    // statically ranked first from HARVARD
+	e.addDepot("near", geo.UNC, nil) // statically ranked first from HARVARD
 	e.addDepot("far", geo.UCSD, nil)
 	sb := health.New(health.Config{
 		FailureThreshold: 2,

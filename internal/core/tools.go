@@ -14,7 +14,8 @@
 package core
 
 import (
-	"log"
+	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/geo"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/ibp"
 	"repro/internal/lbone"
 	"repro/internal/nws"
+	"repro/internal/obs"
 	"repro/internal/transfer"
 	"repro/internal/vclock"
 )
@@ -68,8 +70,13 @@ type Tools struct {
 	Site string
 	// Loc is the client's coordinates for static proximity ranking.
 	Loc geo.Point
-	// Logger, when set, receives per-attempt diagnostics.
-	Logger *log.Logger
+	// Logger, when set, receives per-attempt diagnostics as structured
+	// records (obs.NewLogger wires them into the flight recorder too).
+	Logger *slog.Logger
+	// Forecast, when set, records the NWS forecast error after each
+	// measured download: the bandwidth the forecast predicted for the
+	// depot pair versus what the transfer actually achieved.
+	Forecast *obs.ForecastTracker
 	// Health is the depot scoreboard shared with the IBP client. When set
 	// (to the same scoreboard passed via ibp.WithHealth), download ranking
 	// demotes open-circuit depots below every healthy candidate, upload
@@ -94,7 +101,7 @@ func (t *Tools) clock() vclock.Clock {
 
 func (t *Tools) logf(format string, args ...any) {
 	if t.Logger != nil {
-		t.Logger.Printf(format, args...)
+		t.Logger.Info(fmt.Sprintf(format, args...))
 	}
 }
 

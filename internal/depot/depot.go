@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -38,12 +38,20 @@ type Config struct {
 	// (default: the system network; the experiment harness injects the
 	// simulated WAN so depot-to-depot traffic is shaped too).
 	Dialer netx.Dialer
-	// Logger receives per-connection errors (default: discard).
-	Logger *log.Logger
+	// Logger receives per-connection errors as structured records with
+	// depot/verb/trace attrs (default: discard). Build it with
+	// obs.NewLogger to also retain records in a flight recorder.
+	Logger *slog.Logger
 	// MaxConns bounds concurrent connections (default 128).
 	MaxConns int
 	// TraceRing bounds retained server-side trace spans (default 256).
 	TraceRing int
+	// Recorder, when set, retains depot log records and backs the
+	// /postmortem/<trace> endpoint; a handler panic cuts a bundle from it.
+	Recorder *obs.FlightRecorder
+	// PostmortemDir, when non-empty, is where panic postmortem bundles are
+	// written as POSTMORTEM_<trace>.json files.
+	PostmortemDir string
 }
 
 // Depot is a running IBP depot daemon.
@@ -104,6 +112,10 @@ func Serve(addr string, cfg Config) (*Depot, error) {
 	if cfg.Advertised == "" {
 		cfg.Advertised = ln.Addr().String()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	cfg.Logger = cfg.Logger.With(obs.KeyDepot, cfg.Advertised)
 	d := &Depot{
 		cfg:      cfg,
 		ln:       ln,
@@ -137,13 +149,13 @@ func (d *Depot) restore(pb PersistentBackend) error {
 		expires := time.Unix(meta.Expires, 0).UTC()
 		if now.After(expires) {
 			if err := pb.Remove(key); err != nil {
-				d.logf("depot %s: restore: dropping expired %s: %v", d.cfg.Advertised, key, err)
+				d.cfg.Logger.Warn("restore: dropping expired allocation failed", "alloc", key, "err", err)
 			}
 			continue
 		}
 		handle, err := pb.Open(key, meta.MaxSize)
 		if err != nil {
-			d.logf("depot %s: restore %s: %v", d.cfg.Advertised, key, err)
+			d.cfg.Logger.Warn("restore: reopening allocation failed", "alloc", key, "err", err)
 			continue
 		}
 		d.allocs[key] = &allocation{
@@ -176,7 +188,7 @@ func (d *Depot) persistMeta(a *allocation) {
 	}
 	a.mu.Unlock()
 	if err := pb.SaveMeta(a.key, meta); err != nil {
-		d.logf("depot %s: persist %s: %v", d.cfg.Advertised, a.key, err)
+		d.cfg.Logger.Error("persisting allocation metadata failed", "alloc", a.key, "err", err)
 	}
 }
 
@@ -224,9 +236,25 @@ func (d *Depot) untrack(conn net.Conn) {
 	d.mu.Unlock()
 }
 
-func (d *Depot) logf(format string, args ...any) {
-	if d.cfg.Logger != nil {
-		d.cfg.Logger.Printf(format, args...)
+// panicPostmortem cuts a bundle from the flight recorder when a handler
+// panics: the retained window plus the panic itself, stored for
+// /postmortem and written to PostmortemDir when configured.
+func (d *Depot) panicPostmortem(r any) {
+	rec := d.cfg.Recorder
+	if rec == nil {
+		return
+	}
+	b := obs.Bundle{
+		Reason: "panic", Component: "ibp-depot", CreatedAt: d.clock.Now(),
+		Err: fmt.Sprint(r), Entries: rec.Recent(0),
+	}
+	rec.StoreBundle(b)
+	if d.cfg.PostmortemDir != "" {
+		if path, err := obs.WriteBundle(d.cfg.PostmortemDir, b); err != nil {
+			d.cfg.Logger.Error("writing panic postmortem failed", "err", err)
+		} else {
+			d.cfg.Logger.Error("wrote panic postmortem", "path", path)
+		}
 	}
 }
 
@@ -240,7 +268,7 @@ func (d *Depot) acceptLoop() {
 				return
 			default:
 			}
-			d.logf("depot %s: accept: %v", d.cfg.Advertised, err)
+			d.cfg.Logger.Error("accept failed", "err", err)
 			return
 		}
 		// The semaphore wait is the depot's accept-queue delay; it is
@@ -260,7 +288,8 @@ func (d *Depot) acceptLoop() {
 			defer func() { <-d.sem }()
 			defer func() {
 				if r := recover(); r != nil {
-					d.logf("depot %s: connection panic: %v", d.cfg.Advertised, r)
+					d.cfg.Logger.Error("connection handler panic", "panic", fmt.Sprint(r))
+					d.panicPostmortem(r)
 				}
 			}()
 			d.serveConn(conn, queueWait)
@@ -283,7 +312,7 @@ func (d *Depot) serveConn(raw net.Conn, queueWait time.Duration) {
 		toks, err := conn.ReadLine()
 		if err != nil {
 			if err != io.EOF {
-				d.logf("depot %s: read: %v", d.cfg.Advertised, err)
+				d.cfg.Logger.Warn("read failed", "err", err)
 			}
 			return
 		}
@@ -303,7 +332,7 @@ func (d *Depot) dispatch(conn *connCtx, toks []string) bool {
 	op, args := toks[0], toks[1:]
 	if op == ibp.OpTrace {
 		if err := d.handleTrace(conn, args); err != nil {
-			d.logf("depot %s: %s: %v", d.cfg.Advertised, op, err)
+			d.cfg.Logger.Warn("operation failed", obs.KeyVerb, op, "err", err)
 			return false
 		}
 		return true
@@ -366,7 +395,11 @@ func (d *Depot) dispatch(conn *connCtx, toks []string) bool {
 		err = conn.WriteErr(wire.CodeUnsupported, "unknown operation %s", op)
 	}
 	if err != nil {
-		d.logf("depot %s: %s: %v", d.cfg.Advertised, op, err)
+		l := d.cfg.Logger
+		if conn.span != nil && conn.span.TraceID != "" {
+			l = l.With(obs.KeyTrace, conn.span.TraceID)
+		}
+		l.Warn("operation failed", obs.KeyVerb, op, "err", err)
 		return false
 	}
 	return true
@@ -425,7 +458,7 @@ func (d *Depot) reapOne(a *allocation) {
 	d.mu.Unlock()
 	a.handle.Close()
 	if err := d.cfg.Backend.Remove(a.key); err != nil {
-		d.logf("depot %s: reap %s: %v", d.cfg.Advertised, a.key, err)
+		d.cfg.Logger.Warn("reaping allocation failed", "alloc", a.key, "err", err)
 	}
 	d.metrics.Reaped.Add(1)
 }
@@ -459,7 +492,7 @@ func (d *Depot) evictSoft(need int64) {
 			return
 		}
 		free += a.maxSize
-		d.logf("depot %s: evicting soft allocation %s under space pressure", d.cfg.Advertised, a.key)
+		d.cfg.Logger.Info("evicting soft allocation under space pressure", "alloc", a.key)
 		d.reapOne(a)
 	}
 }
@@ -801,7 +834,7 @@ func (d *Depot) handleMCopy(conn *connCtx, args []string) error {
 	for i, dst := range dsts {
 		newLen, err := client.Store(dst, buf)
 		if err != nil {
-			d.logf("depot %s: mcopy to %s: %v", d.cfg.Advertised, dst.Addr, err)
+			d.cfg.Logger.Warn("mcopy destination failed", obs.KeyVerb, ibp.OpMCopy, "dst", dst.Addr, "err", err)
 			results[i] = "-1"
 			continue
 		}

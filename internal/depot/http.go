@@ -79,15 +79,19 @@ func (d *Depot) ObsMux() *http.ServeMux {
 	}))
 	mux.Handle("/healthz", obs.HealthzHandler(d.healthy))
 	mux.Handle("/trace/", http.HandlerFunc(d.serveTrace))
+	if d.cfg.Recorder != nil {
+		mux.Handle("/postmortem/", obs.PostmortemHandler(d.cfg.Recorder, "ibp-depot", d.clock.Now))
+	}
 	return mux
 }
 
 // serveTrace answers /trace/<traceID> with the retained server spans of
-// that trace as a JSON array (404 when none are retained).
+// that trace as a JSON array: 400 on anything that is not a well-formed
+// trace ID, 404 when the ID is well-formed but no spans are retained.
 func (d *Depot) serveTrace(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/trace/")
-	if id == "" || strings.Contains(id, "/") {
-		http.Error(w, "want /trace/<traceID>", http.StatusBadRequest)
+	if !obs.ValidTraceID(id) {
+		http.Error(w, "want /trace/<traceID> (hex)", http.StatusBadRequest)
 		return
 	}
 	spans := d.SpansForTrace(id)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ibp"
+	"repro/internal/obs"
 )
 
 // TestMetricsEndpoint drives real traffic through a depot and scrapes the
@@ -87,6 +88,72 @@ func TestHealthzEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("healthz after close = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestTraceAndPostmortemHandlers table-drives the diagnostic endpoints:
+// malformed IDs get 400, well-formed-but-unknown IDs get 404, and known
+// traces serve JSON — for both /trace/<id> (retained server spans) and
+// /postmortem/<trace> (stored or on-demand bundles).
+func TestTraceAndPostmortemHandlers(t *testing.T) {
+	rec := obs.NewFlightRecorder(32)
+	d, _ := newDepot(t, Config{Recorder: rec})
+
+	// Drive one traced operation so the depot retains real server spans.
+	root := obs.NewRootSpan()
+	c := ibp.NewClient().WithSpan(root)
+	defer c.Close()
+	set, err := c.Allocate(d.Addr(), 1024, time.Hour, ibp.Soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Store(set.Write, []byte("spanned")); err != nil {
+		t.Fatal(err)
+	}
+
+	// One stored bundle and one trace known only through ring entries.
+	rec.StoreBundle(obs.Bundle{Trace: "feedc0de", Reason: "panic", Component: "ibp-depot"})
+	rec.Record(obs.Event{Verb: ibp.OpLoad, Depot: d.Addr(), Trace: "0ddba11", Outcome: "error", Err: "timeout"})
+
+	srv := httptest.NewServer(d.ObsMux())
+	defer srv.Close()
+
+	cases := []struct {
+		name, path string
+		code       int
+		bodyHas    string
+	}{
+		{"trace known", "/trace/" + root.TraceID, 200, root.TraceID},
+		{"trace unknown", "/trace/abcdef0123456789", 404, "no spans retained"},
+		{"trace malformed", "/trace/NOT-A-TRACE", 400, "want /trace/<traceID>"},
+		{"trace empty", "/trace/", 400, "want /trace/<traceID>"},
+		{"trace overlong", "/trace/" + strings.Repeat("a", 65), 400, ""},
+		{"postmortem stored", "/postmortem/feedc0de", 200, `"reason": "panic"`},
+		{"postmortem on-demand", "/postmortem/0ddba11", 200, `"reason": "on-demand"`},
+		{"postmortem unknown", "/postmortem/abcdef0123456789", 404, "unknown trace"},
+		{"postmortem malformed", "/postmortem/NOT-A-TRACE", 400, "malformed trace id"},
+		{"postmortem empty", "/postmortem/", 400, "malformed trace id"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Get(srv.URL + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := readAll(t, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.code {
+				t.Fatalf("GET %s = %d, want %d (body %q)", tc.path, resp.StatusCode, tc.code, body)
+			}
+			if tc.bodyHas != "" && !strings.Contains(body, tc.bodyHas) {
+				t.Errorf("GET %s body missing %q:\n%s", tc.path, tc.bodyHas, body)
+			}
+			if tc.code == 200 {
+				if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+					t.Errorf("GET %s content-type = %q, want JSON", tc.path, ct)
+				}
+			}
+		})
 	}
 }
 

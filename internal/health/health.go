@@ -138,6 +138,12 @@ type Config struct {
 	Clock vclock.Clock
 	// Seed makes the backoff jitter deterministic for tests.
 	Seed int64
+	// OnTransition, when set, is called on every breaker state change
+	// (closed→open, open→half-open, half-open→open, →closed). It runs with
+	// the scoreboard mutex held: it must return quickly and must not call
+	// back into the scoreboard. The flight recorder's BreakerTransition
+	// satisfies both constraints.
+	OnTransition func(addr string, from, to State, at time.Time)
 }
 
 func (c Config) withDefaults() Config {
@@ -258,6 +264,7 @@ func (s *Scoreboard) Allow(addr string) error {
 		d.state = StateHalfOpen
 		d.halfOpened++
 		d.lastChange = now
+		s.transition(addr, StateOpen, StateHalfOpen, now)
 		return nil
 	}
 }
@@ -281,9 +288,9 @@ func (s *Scoreboard) Report(addr string, outcome Outcome, latency time.Duration)
 		switch {
 		case d.state == StateHalfOpen:
 			// The probe failed: re-open with a longer backoff.
-			s.trip(d, now)
+			s.trip(addr, d, now)
 		case d.state == StateClosed && d.consecFails >= s.cfg.FailureThreshold:
-			s.trip(d, now)
+			s.trip(addr, d, now)
 		}
 		return
 	}
@@ -301,16 +308,25 @@ func (s *Scoreboard) Report(addr string, outcome Outcome, latency time.Duration)
 		d.latPos = (d.latPos + 1) % maxLatencySamples
 	}
 	if d.state != StateClosed {
+		from := d.state
 		d.state = StateClosed
 		d.trips = 0
 		d.reclosed++
 		d.lastChange = now
+		s.transition(addr, from, StateClosed, now)
+	}
+}
+
+// transition invokes the OnTransition hook (mutex held — see Config).
+func (s *Scoreboard) transition(addr string, from, to State, at time.Time) {
+	if s.cfg.OnTransition != nil {
+		s.cfg.OnTransition(addr, from, to, at)
 	}
 }
 
 // trip opens the circuit and schedules the next probe with exponential
 // backoff and jitter.
-func (s *Scoreboard) trip(d *depotHealth, now time.Time) {
+func (s *Scoreboard) trip(addr string, d *depotHealth, now time.Time) {
 	d.trips++
 	backoff := s.cfg.BaseBackoff << (d.trips - 1)
 	if backoff <= 0 || backoff > s.cfg.MaxBackoff {
@@ -318,10 +334,12 @@ func (s *Scoreboard) trip(d *depotHealth, now time.Time) {
 	}
 	jitter := 1 + s.cfg.JitterFrac*(2*s.rng.Float64()-1)
 	backoff = time.Duration(float64(backoff) * jitter)
+	from := d.state
 	d.state = StateOpen
 	d.opened++
 	d.retryAt = now.Add(backoff)
 	d.lastChange = now
+	s.transition(addr, from, StateOpen, now)
 }
 
 // State returns addr's breaker state and, when open, the earliest probe

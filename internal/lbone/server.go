@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/ibp"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 	"repro/internal/wire"
 )
@@ -32,8 +33,9 @@ type ServerConfig struct {
 	TTL time.Duration
 	// Clock drives liveness (default: real time).
 	Clock vclock.Clock
-	// Logger receives per-connection errors (default: discard).
-	Logger *log.Logger
+	// Logger receives per-connection errors as structured records
+	// (default: discard).
+	Logger *slog.Logger
 }
 
 // ServerStats counts registry traffic — the L-Bone side of the
@@ -128,10 +130,11 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf(format, args...)
+func (s *Server) log() *slog.Logger {
+	if s.cfg.Logger == nil {
+		return obs.NopLogger()
 	}
+	return s.cfg.Logger
 }
 
 func (s *Server) acceptLoop() {
@@ -142,7 +145,7 @@ func (s *Server) acceptLoop() {
 			select {
 			case <-s.shutdown:
 			default:
-				s.logf("lbone: accept: %v", err)
+				s.log().Error("accept failed", "err", err)
 			}
 			return
 		}
@@ -151,7 +154,7 @@ func (s *Server) acceptLoop() {
 			defer s.wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					s.logf("lbone: connection panic: %v", r)
+					s.log().Error("connection handler panic", "panic", fmt.Sprint(r))
 				}
 			}()
 			s.serveConn(conn)
@@ -167,7 +170,7 @@ func (s *Server) serveConn(raw net.Conn) {
 		toks, err := conn.ReadLine()
 		if err != nil {
 			if err != io.EOF {
-				s.logf("lbone: read: %v", err)
+				s.log().Warn("read failed", "err", err)
 			}
 			return
 		}
@@ -205,7 +208,7 @@ func (s *Server) dispatch(conn *wire.Conn, op string, args []string) bool {
 		err = conn.WriteErr(wire.CodeUnsupported, "unknown operation %s", op)
 	}
 	if err != nil {
-		s.logf("lbone: %s: %v", op, err)
+		s.log().Warn("operation failed", obs.KeyVerb, op, "err", err)
 		return false
 	}
 	return true

@@ -3,11 +3,12 @@ package nws
 import (
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"strconv"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -29,18 +30,22 @@ const (
 type Server struct {
 	svc      *Service
 	ln       net.Listener
-	logger   *log.Logger
+	logger   *slog.Logger
 	wg       sync.WaitGroup
 	mu       sync.Mutex
 	closed   bool
 	shutdown chan struct{}
 }
 
-// ServeNWS starts an NWS daemon around svc on addr.
-func ServeNWS(addr string, svc *Service, logger *log.Logger) (*Server, error) {
+// ServeNWS starts an NWS daemon around svc on addr. A nil logger
+// discards; pass one built with obs.NewLogger for structured records.
+func ServeNWS(addr string, svc *Service, logger *slog.Logger) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("nws: listen %s: %w", addr, err)
+	}
+	if logger == nil {
+		logger = obs.NopLogger()
 	}
 	s := &Server{svc: svc, ln: ln, logger: logger, shutdown: make(chan struct{})}
 	s.wg.Add(1)
@@ -66,12 +71,6 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
-	}
-}
-
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -80,7 +79,7 @@ func (s *Server) acceptLoop() {
 			select {
 			case <-s.shutdown:
 			default:
-				s.logf("nws: accept: %v", err)
+				s.logger.Error("accept failed", "err", err)
 			}
 			return
 		}
@@ -89,7 +88,7 @@ func (s *Server) acceptLoop() {
 			defer s.wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					s.logf("nws: connection panic: %v", r)
+					s.logger.Error("connection handler panic", "panic", fmt.Sprint(r))
 				}
 			}()
 			s.serveConn(conn)
@@ -104,7 +103,7 @@ func (s *Server) serveConn(raw net.Conn) {
 		toks, err := conn.ReadLine()
 		if err != nil {
 			if err != io.EOF {
-				s.logf("nws: read: %v", err)
+				s.logger.Warn("read failed", "err", err)
 			}
 			return
 		}
@@ -132,7 +131,7 @@ func (s *Server) dispatch(conn *wire.Conn, op string, args []string) bool {
 		err = conn.WriteErr(wire.CodeUnsupported, "unknown operation %s", op)
 	}
 	if err != nil {
-		s.logf("nws: %s: %v", op, err)
+		s.logger.Warn("operation failed", obs.KeyVerb, op, "err", err)
 		return false
 	}
 	return true

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// validMetricName (the Prometheus metric-name grammar) is shared with
+// prom_extra_test.go.
+
+func TestRuntimeMetricsNamesAndTypes(t *testing.T) {
+	ms := RuntimeMetrics()
+	if len(ms) == 0 {
+		t.Fatal("RuntimeMetrics returned nothing")
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if !validMetricName.MatchString(m.Name) {
+			t.Errorf("invalid metric name %q", m.Name)
+		}
+		if m.Help == "" {
+			t.Errorf("%s: empty help", m.Name)
+		}
+		if m.Type != "gauge" && m.Type != "counter" {
+			t.Errorf("%s: unexpected type %q", m.Name, m.Type)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate metric %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	for _, want := range []string{"go_goroutines", "go_memstats_heap_alloc_bytes", "go_gc_cycles_total"} {
+		if !seen[want] {
+			t.Errorf("metric %s missing", want)
+		}
+	}
+	// A live process has at least one goroutine and a non-empty heap.
+	for _, m := range ms {
+		switch m.Name {
+		case "go_goroutines", "go_memstats_heap_alloc_bytes":
+			if m.Value <= 0 {
+				t.Errorf("%s = %v, want > 0", m.Name, m.Value)
+			}
+		}
+	}
+}
+
+func TestRuntimeMetricsRenderOnScrape(t *testing.T) {
+	h := MetricsHandler(RuntimeMetrics)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("scrape = %d", rr.Code)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		"# HELP go_goroutines", "# TYPE go_goroutines gauge", "go_goroutines ",
+		"# TYPE go_gc_cycles_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape output missing %q", want)
+		}
+	}
+	// Every non-comment line must be name[{labels}] value.
+	lineRE := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+$`)
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !lineRE.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}

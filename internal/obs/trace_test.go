@@ -91,8 +91,8 @@ func TestRenderTraceTree(t *testing.T) {
 	for _, want := range []string{
 		"trace " + root.TraceID + " (3 events)",
 		"+0s DOWNLOAD",
-		"  EXTENT d:1",      // depth 1
-		"    LOAD d:1",      // depth 2
+		"  EXTENT d:1", // depth 1
+		"    LOAD d:1", // depth 2
 		"└ depot span feedf00d: queue 1µs backend 2µs total 5µs (64B)",
 	} {
 		if !strings.Contains(out, want) {

@@ -1,0 +1,500 @@
+// Package slo turns the stack's raw reliability signals into verdicts.
+//
+// The paper's three-day study (§3) tracked exactly two service-level
+// indicators — per-depot availability and end-to-end download success —
+// by hand; this package makes those (plus IBP op error ratio and latency
+// quantiles) first-class SLIs with declared objectives and multi-window
+// burn-rate alerting in the style long used for production error budgets:
+// an alert fires only when both a long and a short window burn the error
+// budget faster than the rule's threshold, so sustained outages page
+// quickly while blips and stale incidents do not.
+//
+// The engine is deliberately passive: callers feed it good/bad events
+// (directly or via the ObserveIBP adapter on the obs event stream) and
+// call Evaluate when they want verdicts. No background goroutines means
+// the whole thing runs deterministically under vclock — the simulated
+// 14-depot stackmon study produces alert firings that line up with the
+// injected outage schedule.
+package slo
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// SLI names the service-level indicator a sample belongs to.
+type SLI string
+
+// The stack's indicators. Keys are per-SLI: depot address for IBPOps and
+// DepotAvailability, a tool/site label for DownloadSuccess.
+const (
+	IBPOps            SLI = "ibp_ops"            // per-depot IBP op success ratio + latency
+	DepotAvailability SLI = "depot_availability" // per-depot probe availability (stackmon)
+	DownloadSuccess   SLI = "download_success"   // end-to-end data retrieval success
+)
+
+// BurnRule is one multi-window burn-rate alert condition: fire when both
+// the Long and Short windows burn error budget at >= Burn times the rate
+// that would exhaust it exactly at the objective's window end.
+type BurnRule struct {
+	Name     string
+	Long     time.Duration
+	Short    time.Duration
+	Burn     float64
+	Severity string // "page", "ticket", ...
+}
+
+// DefaultRules are the classic fast/slow burn pair, scaled to the
+// simulated studies this repo runs (hours, not the SRE book's days).
+func DefaultRules() []BurnRule {
+	return []BurnRule{
+		{Name: "fast-burn", Long: time.Hour, Short: 5 * time.Minute, Burn: 14.4, Severity: "page"},
+		{Name: "slow-burn", Long: 6 * time.Hour, Short: 30 * time.Minute, Burn: 6, Severity: "ticket"},
+	}
+}
+
+// Objective declares a target for one SLI.
+type Objective struct {
+	Name   string
+	SLI    SLI
+	Target float64       // e.g. 0.99 — fraction of events that must be good
+	Window time.Duration // error-budget window (default 24h)
+	Rules  []BurnRule    // default DefaultRules()
+}
+
+// DefaultObjectives covers the paper-§3 metrics with targets loose enough
+// for a healthy simulated study and tight enough that an injected outage
+// burns through them.
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{Name: "ibp-op-success", SLI: IBPOps, Target: 0.99, Window: 24 * time.Hour},
+		{Name: "depot-availability", SLI: DepotAvailability, Target: 0.95, Window: 24 * time.Hour},
+		{Name: "download-success", SLI: DownloadSuccess, Target: 0.99, Window: 24 * time.Hour},
+	}
+}
+
+// Config parameterizes New.
+type Config struct {
+	Clock      vclock.Clock        // default wall clock
+	Objectives []Objective         // default DefaultObjectives()
+	Bucket     time.Duration       // sliding-window bucket width (default 1m)
+	Logger     *slog.Logger        // alert transitions logged here when set
+	Recorder   *obs.FlightRecorder // alert transitions retained here when set
+	OnAlert    func(Alert)         // called on every fire/resolve transition
+}
+
+// Alert is one fire or resolve transition (or, from Evaluate's return,
+// one currently-firing condition).
+type Alert struct {
+	Objective string    `json:"objective"`
+	Rule      string    `json:"rule"`
+	Key       string    `json:"key"`
+	Severity  string    `json:"severity"`
+	Firing    bool      `json:"firing"`
+	BurnLong  float64   `json:"burn_long"`
+	BurnShort float64   `json:"burn_short"`
+	Since     time.Time `json:"since"`
+}
+
+// Firing is one historical alert interval (ResolvedAt zero while active).
+type Firing struct {
+	Objective  string    `json:"objective"`
+	Rule       string    `json:"rule"`
+	Key        string    `json:"key"`
+	Severity   string    `json:"severity"`
+	FiredAt    time.Time `json:"fired_at"`
+	ResolvedAt time.Time `json:"resolved_at,omitempty"`
+	PeakBurn   float64   `json:"peak_burn"`
+}
+
+// maxFirings bounds the retained alert history.
+const maxFirings = 256
+
+// maxLatencySamples bounds each (SLI, key) latency ring.
+const maxLatencySamples = 512
+
+type sliKey struct {
+	sli SLI
+	key string
+}
+
+type fireKey struct {
+	objective, rule, key string
+}
+
+// bucket is one time slot of a series ring; idx is the absolute bucket
+// number since the epoch, so stale ring slots are detected by mismatch.
+type bucket struct {
+	idx       int64
+	good, bad int64
+}
+
+// series holds one (SLI, key)'s sliding window plus lifetime totals and a
+// bounded latency sample ring.
+type series struct {
+	buckets   []bucket
+	totalGood int64
+	totalBad  int64
+
+	lat     []float64
+	latPos  int
+	latFull bool
+}
+
+// Engine accumulates SLI samples and evaluates burn-rate rules on demand.
+// Safe for concurrent use. A nil *Engine ignores all recordings, so
+// callers can wire it unconditionally.
+type Engine struct {
+	mu      sync.Mutex
+	cfg     Config
+	span    time.Duration // longest window any rule or objective needs
+	series  map[sliKey]*series
+	active  map[fireKey]*Firing
+	history []Firing
+}
+
+// New builds an engine from cfg, applying defaults for zero fields.
+func New(cfg Config) *Engine {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	if len(cfg.Objectives) == 0 {
+		cfg.Objectives = DefaultObjectives()
+	}
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = time.Minute
+	}
+	span := cfg.Bucket
+	for i := range cfg.Objectives {
+		o := &cfg.Objectives[i]
+		if o.Window <= 0 {
+			o.Window = 24 * time.Hour
+		}
+		if len(o.Rules) == 0 {
+			o.Rules = DefaultRules()
+		}
+		if o.Window > span {
+			span = o.Window
+		}
+		for _, r := range o.Rules {
+			if r.Long > span {
+				span = r.Long
+			}
+		}
+	}
+	return &Engine{
+		cfg:    cfg,
+		span:   span,
+		series: make(map[sliKey]*series),
+		active: make(map[fireKey]*Firing),
+	}
+}
+
+// Objectives returns the engine's (defaulted) objectives.
+func (e *Engine) Objectives() []Objective {
+	if e == nil {
+		return nil
+	}
+	return e.cfg.Objectives
+}
+
+func (e *Engine) seriesFor(k sliKey) *series {
+	s := e.series[k]
+	if s == nil {
+		n := int(e.span/e.cfg.Bucket) + 2
+		s = &series{buckets: make([]bucket, n)}
+		for i := range s.buckets {
+			s.buckets[i].idx = -1
+		}
+		e.series[k] = s
+	}
+	return s
+}
+
+func (e *Engine) bucketIndex(t time.Time) int64 {
+	return t.UnixNano() / int64(e.cfg.Bucket)
+}
+
+// Record feeds one good/bad event for (sli, key) at the engine clock's
+// current time.
+func (e *Engine) Record(sli SLI, key string, good bool) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.seriesFor(sliKey{sli, key})
+	idx := e.bucketIndex(e.cfg.Clock.Now())
+	b := &s.buckets[int(idx)%len(s.buckets)]
+	if b.idx != idx {
+		*b = bucket{idx: idx}
+	}
+	if good {
+		b.good++
+		s.totalGood++
+	} else {
+		b.bad++
+		s.totalBad++
+	}
+}
+
+// RecordLatency feeds one latency observation (seconds) for (sli, key).
+func (e *Engine) RecordLatency(sli SLI, key string, seconds float64) {
+	if e == nil || seconds < 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.seriesFor(sliKey{sli, key})
+	if len(s.lat) < maxLatencySamples {
+		s.lat = append(s.lat, seconds)
+		return
+	}
+	s.lat[s.latPos] = seconds
+	s.latPos = (s.latPos + 1) % maxLatencySamples
+	s.latFull = true
+}
+
+// window sums the good/bad counts over the trailing window ending now.
+func (s *series) window(e *Engine, now time.Time, window time.Duration) (good, bad int64) {
+	nowIdx := e.bucketIndex(now)
+	n := int64(window / e.cfg.Bucket)
+	if n < 1 {
+		n = 1
+	}
+	lo := nowIdx - n + 1
+	for i := range s.buckets {
+		b := s.buckets[i]
+		if b.idx >= lo && b.idx <= nowIdx {
+			good += b.good
+			bad += b.bad
+		}
+	}
+	return good, bad
+}
+
+// burn converts windowed counts into a burn rate against the objective:
+// the observed error ratio divided by the budgeted one. Zero events burn
+// nothing.
+func burn(good, bad int64, target float64) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - target
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return (float64(bad) / float64(total)) / budget
+}
+
+// Evaluate walks every (objective, rule, key), updates firing state, and
+// returns the currently-firing alerts sorted by objective/rule/key.
+// Transitions are logged, retained in the flight recorder, and passed to
+// OnAlert.
+func (e *Engine) Evaluate() []Alert {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	now := e.cfg.Clock.Now()
+	var fired, resolved []Alert
+	var out []Alert
+	for _, o := range e.cfg.Objectives {
+		for k, s := range e.series {
+			if k.sli != o.SLI {
+				continue
+			}
+			for _, r := range o.Rules {
+				lGood, lBad := s.window(e, now, r.Long)
+				sGood, sBad := s.window(e, now, r.Short)
+				bLong := burn(lGood, lBad, o.Target)
+				bShort := burn(sGood, sBad, o.Target)
+				fk := fireKey{o.Name, r.Name, k.key}
+				f := e.active[fk]
+				shouldFire := lGood+lBad > 0 && bLong >= r.Burn && bShort >= r.Burn
+				switch {
+				case shouldFire && f == nil:
+					nf := &Firing{
+						Objective: o.Name, Rule: r.Name, Key: k.key,
+						Severity: r.Severity, FiredAt: now, PeakBurn: bLong,
+					}
+					e.active[fk] = nf
+					fired = append(fired, Alert{
+						Objective: o.Name, Rule: r.Name, Key: k.key,
+						Severity: r.Severity, Firing: true,
+						BurnLong: bLong, BurnShort: bShort, Since: now,
+					})
+				case f != nil && bLong < r.Burn:
+					// Resolve on the long window alone: the short window
+					// going quiet just means the incident stopped burning
+					// recently, not that the budget recovered.
+					f.ResolvedAt = now
+					e.history = append(e.history, *f)
+					if len(e.history) > maxFirings {
+						e.history = e.history[len(e.history)-maxFirings:]
+					}
+					delete(e.active, fk)
+					resolved = append(resolved, Alert{
+						Objective: o.Name, Rule: r.Name, Key: k.key,
+						Severity: r.Severity, Firing: false,
+						BurnLong: bLong, BurnShort: bShort, Since: f.FiredAt,
+					})
+				case f != nil:
+					if bLong > f.PeakBurn {
+						f.PeakBurn = bLong
+					}
+				}
+				if f := e.active[fk]; f != nil {
+					out = append(out, Alert{
+						Objective: o.Name, Rule: r.Name, Key: k.key,
+						Severity: r.Severity, Firing: true,
+						BurnLong: bLong, BurnShort: bShort, Since: f.FiredAt,
+					})
+				}
+			}
+		}
+	}
+	logger, rec, onAlert := e.cfg.Logger, e.cfg.Recorder, e.cfg.OnAlert
+	e.mu.Unlock()
+
+	emit := func(a Alert, verb string) {
+		if logger != nil {
+			logger.Warn("slo alert "+verb,
+				"objective", a.Objective, "rule", a.Rule, "key", a.Key,
+				"severity", a.Severity,
+				"burn_long", fmt.Sprintf("%.2f", a.BurnLong),
+				"burn_short", fmt.Sprintf("%.2f", a.BurnShort))
+		}
+		if rec != nil {
+			rec.Add(obs.Entry{
+				Time: now, Kind: obs.KindAlert, Depot: a.Key,
+				Msg: fmt.Sprintf("slo alert %s: %s/%s burn long %.2f short %.2f",
+					verb, a.Objective, a.Rule, a.BurnLong, a.BurnShort),
+				Level: "WARN",
+			})
+		}
+		if onAlert != nil {
+			onAlert(a)
+		}
+	}
+	for _, a := range fired {
+		emit(a, "fired")
+	}
+	for _, a := range resolved {
+		emit(a, "resolved")
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Objective != out[j].Objective {
+			return out[i].Objective < out[j].Objective
+		}
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Firings returns the alert history (resolved intervals oldest first,
+// then the currently-active firings).
+func (e *Engine) Firings() []Firing {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Firing, 0, len(e.history)+len(e.active))
+	out = append(out, e.history...)
+	var act []Firing
+	for _, f := range e.active {
+		act = append(act, *f)
+	}
+	sort.Slice(act, func(i, j int) bool {
+		if !act[i].FiredAt.Equal(act[j].FiredAt) {
+			return act[i].FiredAt.Before(act[j].FiredAt)
+		}
+		return act[i].Key < act[j].Key
+	})
+	return append(out, act...)
+}
+
+// KeyStatus is one (objective, key)'s snapshot.
+type KeyStatus struct {
+	Key             string  `json:"key"`
+	Good            int64   `json:"good"`
+	Bad             int64   `json:"bad"`
+	ErrorRatio      float64 `json:"error_ratio"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	LatencyP50      float64 `json:"latency_p50_s,omitempty"`
+	LatencyP95      float64 `json:"latency_p95_s,omitempty"`
+	LatencyP99      float64 `json:"latency_p99_s,omitempty"`
+}
+
+// ObjectiveStatus is one objective's snapshot across its keys.
+type ObjectiveStatus struct {
+	Name   string      `json:"name"`
+	SLI    SLI         `json:"sli"`
+	Target float64     `json:"target"`
+	Window string      `json:"window"`
+	Keys   []KeyStatus `json:"keys"`
+}
+
+// Status is the /slo document.
+type Status struct {
+	Now        time.Time         `json:"now"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+	Alerts     []Alert           `json:"alerts,omitempty"`
+	Firings    []Firing          `json:"firings,omitempty"`
+}
+
+// latQuantiles computes p50/p95/p99 over the retained latency ring.
+func (s *series) latQuantiles() (p50, p95, p99 float64) {
+	n := len(s.lat)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.lat)
+	sort.Float64s(sorted)
+	return stats.Percentile(sorted, 50), stats.Percentile(sorted, 95), stats.Percentile(sorted, 99)
+}
+
+// Snapshot evaluates the rules and assembles the full status document.
+func (e *Engine) Snapshot() Status {
+	if e == nil {
+		return Status{}
+	}
+	alerts := e.Evaluate()
+	e.mu.Lock()
+	now := e.cfg.Clock.Now()
+	st := Status{Now: now, Alerts: alerts}
+	for _, o := range e.cfg.Objectives {
+		os := ObjectiveStatus{Name: o.Name, SLI: o.SLI, Target: o.Target, Window: o.Window.String()}
+		for k, s := range e.series {
+			if k.sli != o.SLI {
+				continue
+			}
+			good, bad := s.window(e, now, o.Window)
+			ks := KeyStatus{Key: k.key, Good: good, Bad: bad}
+			if total := good + bad; total > 0 {
+				ks.ErrorRatio = float64(bad) / float64(total)
+			}
+			ks.BudgetRemaining = 1 - burn(good, bad, o.Target)
+			ks.LatencyP50, ks.LatencyP95, ks.LatencyP99 = s.latQuantiles()
+			os.Keys = append(os.Keys, ks)
+		}
+		sort.Slice(os.Keys, func(i, j int) bool { return os.Keys[i].Key < os.Keys[j].Key })
+		st.Objectives = append(st.Objectives, os)
+	}
+	e.mu.Unlock()
+	st.Firings = e.Firings()
+	return st
+}

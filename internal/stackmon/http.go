@@ -54,6 +54,7 @@ func (m *Monitor) PromMetrics() []obs.Metric {
 		)
 	}
 	ms = append(ms, m.latencyHistograms()...)
+	ms = append(ms, m.cfg.SLO.Metrics()...)
 	return append(ms, obs.RuntimeMetrics()...)
 }
 
@@ -89,8 +90,9 @@ func (m *Monitor) latencyHistograms() []obs.Metric {
 }
 
 // ObsMux returns the monitor's HTTP surface: GET /metrics (Prometheus
-// text format), GET /healthz, and GET /report (the current Study as
-// JSON, sample detail included).
+// text format), GET /healthz, GET /report (the current Study as JSON,
+// sample detail included), and — when an SLO engine is attached — GET
+// /slo (objectives, burn rates, and firing alerts as JSON).
 func (m *Monitor) ObsMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.MetricsHandler(m.PromMetrics))
@@ -101,5 +103,8 @@ func (m *Monitor) ObsMux() *http.ServeMux {
 		enc.SetIndent("", "  ")
 		enc.Encode(m.Snapshot(true))
 	}))
+	if m.cfg.SLO != nil {
+		mux.Handle("/slo", m.cfg.SLO.Handler())
+	}
 	return mux
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/depot"
 	"repro/internal/faultnet"
 	"repro/internal/ibp"
+	"repro/internal/slo"
 	"repro/internal/vclock"
 )
 
@@ -47,6 +48,10 @@ type SimConfig struct {
 	Seed int64
 	// Logf receives depot state transitions.
 	Logf func(format string, args ...any)
+	// Objectives, when non-empty, attaches an SLO engine (on the study's
+	// virtual clock) fed from every sweep; RunSimSLO returns it so callers
+	// can line alert firings up against the outage schedule.
+	Objectives []slo.Objective
 }
 
 // DefaultSimDepots returns the 14 depot names of the paper's study set.
@@ -104,6 +109,14 @@ func (cfg SimConfig) withDefaults() (depots []string, outages []SimOutage, durat
 // snapshot (sample detail included) plus the name→address mapping so
 // callers can translate report rows back to depot names.
 func RunSim(cfg SimConfig) (Study, map[string]string, error) {
+	study, addrOf, _, err := RunSimSLO(cfg)
+	return study, addrOf, err
+}
+
+// RunSimSLO is RunSim returning the study's SLO engine as well (nil
+// unless cfg.Objectives is set): its firings are the study's alert
+// verdicts, evaluated sweep by sweep on the virtual clock.
+func RunSimSLO(cfg SimConfig) (Study, map[string]string, *slo.Engine, error) {
 	depots, outages, duration, interval := cfg.withDefaults()
 	payload := cfg.Payload
 	if payload <= 0 {
@@ -132,7 +145,7 @@ func RunSim(cfg SimConfig) (Study, map[string]string, error) {
 			Clock:    clk,
 		})
 		if err != nil {
-			return Study{}, nil, fmt.Errorf("stackmon: starting sim depot %s: %w", name, err)
+			return Study{}, nil, nil, fmt.Errorf("stackmon: starting sim depot %s: %w", name, err)
 		}
 		servers = append(servers, d)
 		var wins []faultnet.Window
@@ -155,6 +168,10 @@ func RunSim(cfg SimConfig) (Study, map[string]string, error) {
 		ibp.WithDialTimeout(3*time.Second),
 		ibp.WithOpTimeout(60*time.Second),
 	)
+	var engine *slo.Engine
+	if len(cfg.Objectives) > 0 {
+		engine = slo.New(slo.Config{Clock: clk, Objectives: cfg.Objectives, Bucket: interval})
+	}
 	mon, err := New(Config{
 		Client:   client,
 		Depots:   addresses(depots, addrOf),
@@ -163,9 +180,10 @@ func RunSim(cfg SimConfig) (Study, map[string]string, error) {
 		Duration: 2 * interval,
 		Clock:    clk,
 		Logf:     cfg.Logf,
+		SLO:      engine,
 	})
 	if err != nil {
-		return Study{}, nil, err
+		return Study{}, nil, nil, err
 	}
 
 	// The experiments-package idiom: each round runs synchronously (ops
@@ -180,7 +198,7 @@ func RunSim(cfg SimConfig) (Study, map[string]string, error) {
 			clk.Advance(gap)
 		}
 	}
-	return mon.Snapshot(true), addrOf, nil
+	return mon.Snapshot(true), addrOf, engine, nil
 }
 
 func addresses(names []string, addrOf map[string]string) []string {

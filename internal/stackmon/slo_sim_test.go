@@ -1,0 +1,100 @@
+package stackmon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/slo"
+)
+
+// TestSimSLOAlertsAlignWithOutages is the SLO acceptance check: a
+// simulated study with one scripted outage must produce a burn-rate alert
+// that fires shortly after the outage begins and resolves once the bad
+// sweeps age out of the rule's long window — all on the virtual clock, so
+// the firing interval is exactly reproducible against the schedule.
+func TestSimSLOAlertsAlignWithOutages(t *testing.T) {
+	outage := SimOutage{Depot: "DOWN", From: 6 * time.Hour, To: 9 * time.Hour}
+	cfg := SimConfig{
+		Depots:    []string{"UP", "DOWN"},
+		Outages:   []SimOutage{outage},
+		Duration:  14 * time.Hour,
+		Interval:  5 * time.Minute,
+		ProbeOnly: true,
+		Seed:      7,
+		Objectives: []slo.Objective{{
+			Name: "depot-availability", SLI: slo.DepotAvailability,
+			Target: 0.95, Window: 24 * time.Hour,
+			Rules: []slo.BurnRule{{
+				Name: "fast-burn", Long: time.Hour, Short: 15 * time.Minute,
+				Burn: 14.4, Severity: "page",
+			}},
+		}},
+	}
+	_, addrOf, engine, err := RunSimSLO(cfg)
+	if err != nil {
+		t.Fatalf("RunSimSLO: %v", err)
+	}
+	if engine == nil {
+		t.Fatal("no engine returned despite Objectives")
+	}
+
+	firings := engine.Firings()
+	if len(firings) != 1 {
+		t.Fatalf("got %d firings %+v, want exactly one (the scripted outage)", len(firings), firings)
+	}
+	f := firings[0]
+	if f.Key != addrOf["DOWN"] {
+		t.Errorf("alert key = %s, want the downed depot %s", f.Key, addrOf["DOWN"])
+	}
+	if f.Objective != "depot-availability" || f.Rule != "fast-burn" || f.Severity != "page" {
+		t.Errorf("firing identity = %+v", f)
+	}
+
+	// Fire time: the long window is 1h, so the burn crosses 14.4x once
+	// ~72% of the trailing hour's sweeps have failed — between the outage
+	// start and one hour in.
+	firedOff := f.FiredAt.Sub(SimStart)
+	if firedOff < outage.From || firedOff > outage.From+time.Hour {
+		t.Errorf("alert fired at +%v, want within the first hour of the outage [+%v, +%v]",
+			firedOff, outage.From, outage.From+time.Hour)
+	}
+	// Resolve time: after the outage ends, once enough healthy sweeps
+	// dilute the trailing hour below the burn threshold.
+	resolvedOff := f.ResolvedAt.Sub(SimStart)
+	if f.ResolvedAt.IsZero() {
+		t.Fatal("alert never resolved after the outage ended")
+	}
+	if resolvedOff < outage.To || resolvedOff > outage.To+time.Hour {
+		t.Errorf("alert resolved at +%v, want within an hour after the outage end [+%v, +%v]",
+			resolvedOff, outage.To, outage.To+time.Hour)
+	}
+	if f.PeakBurn < 14.4 {
+		t.Errorf("peak burn = %.1f, want >= the 14.4 threshold", f.PeakBurn)
+	}
+
+	// The healthy depot must never alert.
+	for _, f := range firings {
+		if f.Key == addrOf["UP"] {
+			t.Errorf("healthy depot fired an alert: %+v", f)
+		}
+	}
+
+	// Determinism: a rerun must reproduce the same firing interval at sweep
+	// granularity. (Depot listeners get fresh ephemeral ports each run, and
+	// faultnet keys its per-link jitter on the address, so timestamps can
+	// shift by microseconds — but never across a sweep boundary.)
+	_, _, engine2, err := RunSimSLO(cfg)
+	if err != nil {
+		t.Fatalf("RunSimSLO (rerun): %v", err)
+	}
+	firings2 := engine2.Firings()
+	if len(firings2) != 1 {
+		t.Fatalf("rerun firings = %+v, want one", firings2)
+	}
+	f2 := firings2[0]
+	if !f2.FiredAt.Truncate(cfg.Interval).Equal(f.FiredAt.Truncate(cfg.Interval)) ||
+		!f2.ResolvedAt.Truncate(cfg.Interval).Equal(f.ResolvedAt.Truncate(cfg.Interval)) {
+		t.Errorf("rerun interval [%v, %v] not aligned with [%v, %v]",
+			f2.FiredAt, f2.ResolvedAt, f.FiredAt, f.ResolvedAt)
+	}
+}

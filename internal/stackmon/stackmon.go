@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/ibp"
+	"repro/internal/slo"
 	"repro/internal/vclock"
 )
 
@@ -53,6 +54,12 @@ type Config struct {
 	MaxSamples int
 	// Logf, when set, receives one line per depot state change.
 	Logf func(format string, args ...any)
+	// SLO, when set, receives every sweep result as SLI samples — probe
+	// liveness as depot_availability, data rounds as download_success —
+	// and its burn-rate rules are evaluated at the end of each sweep, so
+	// the monitor that reproduces the paper's study also produces its
+	// alert verdicts.
+	SLO *slo.Engine
 }
 
 // Sample is one depot observation from one sweep.
@@ -196,6 +203,7 @@ func (m *Monitor) Sweep() {
 	m.sweeps++
 	m.lastRun = m.clock.Now()
 	m.mu.Unlock()
+	m.cfg.SLO.Evaluate()
 }
 
 // probeOne measures one depot: STATUS for liveness and latency, then the
@@ -268,6 +276,13 @@ func (m *Monitor) record(addr string, sm Sample) {
 	wasUp := s.lastUp
 	s.add(m.cfg.MaxSamples, sm)
 	m.mu.Unlock()
+	m.cfg.SLO.Record(slo.DepotAvailability, addr, sm.Up)
+	if sm.Up {
+		m.cfg.SLO.RecordLatency(slo.DepotAvailability, addr, sm.ProbeLatency.Seconds())
+	}
+	if sm.DataAttempt {
+		m.cfg.SLO.Record(slo.DownloadSuccess, addr, sm.DataOK)
+	}
 	if m.cfg.Logf != nil && (!known || wasUp != sm.Up) {
 		state := "up"
 		if !sm.Up {

@@ -24,6 +24,7 @@
 package transfer
 
 import (
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -71,6 +72,10 @@ type Config struct {
 	// the race itself and not just its surviving IBP operations. Share the
 	// same collector the ibp.Client reports to.
 	Observer obs.Observer
+	// Logger, when set, receives a debug record per hedging decision with
+	// the shared trace/depot attrs, so structured logs tell the same story
+	// the event stream does (default: discard).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -233,6 +241,11 @@ func (e *Engine) Hedge(addrs [2]string, run func(idx int, cancel <-chan struct{}
 // race runs under a sampled span; with no observer configured this is a
 // no-op.
 func (e *Engine) emit(sc obs.SpanContext, addr, outcome, note string, lat time.Duration) {
+	l := e.cfg.Logger
+	if sc.Sampled && sc.Valid() {
+		l = l.With(obs.KeyTrace, sc.TraceID)
+	}
+	l.Debug("hedge "+outcome, obs.KeyDepot, addr, obs.KeyVerb, "HEDGE", "note", note)
 	if e.cfg.Observer == nil {
 		return
 	}
