@@ -31,7 +31,9 @@ func main() {
 		advertised  = flag.String("advertised", "", "address minted into capabilities (default: listen address)")
 		capacity    = flag.Int64("capacity", 1<<30, "total bytes to serve")
 		maxDuration = flag.Duration("max-duration", 30*24*time.Hour, "longest allocation lifetime granted")
-		dir         = flag.String("dir", "", "directory for file-backed storage (default: in-memory)")
+		dir         = flag.String("dir", "", "directory for disk-backed storage (required for -backend file|pack)")
+		backendKind = flag.String("backend", "", "storage backend: memory, file, or pack (default: file when -dir is set, else memory)")
+		bundleCap   = flag.Int64("bundle-cap", depot.DefaultBundleCap, "pack backend: max reserved bytes per bundle file")
 		secretFile  = flag.String("secret-file", "", "file holding the capability-signing secret (default: random per run)")
 		lboneAddr   = flag.String("lbone", "", "L-Bone server to register with (optional)")
 		name        = flag.String("name", "depot", "depot display name for the L-Bone")
@@ -65,12 +67,38 @@ func main() {
 		Recorder:      recorder,
 		PostmortemDir: *pmDir,
 	}
-	if *dir != "" {
+	kind := *backendKind
+	if kind == "" {
+		if *dir != "" {
+			kind = "file"
+		} else {
+			kind = "memory"
+		}
+	}
+	switch kind {
+	case "memory":
+		// depot.Serve defaults to the in-memory backend.
+	case "file":
+		if *dir == "" {
+			fatal("backend", fmt.Errorf("-backend file requires -dir"))
+		}
 		backend, err := depot.NewFileBackend(*dir)
 		if err != nil {
 			fatal("opening file backend", err)
 		}
 		cfg.Backend = backend
+	case "pack":
+		if *dir == "" {
+			fatal("backend", fmt.Errorf("-backend pack requires -dir"))
+		}
+		backend, err := depot.NewPackBackend(*dir, *bundleCap)
+		if err != nil {
+			fatal("opening pack backend", err)
+		}
+		cfg.Backend = backend
+		defer backend.Close()
+	default:
+		fatal("backend", fmt.Errorf("unknown backend %q (want memory, file, or pack)", kind))
 	}
 	d, err := depot.Serve(*listen, cfg)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/exnode"
 	"repro/internal/geo"
 	"repro/internal/integrity"
@@ -116,6 +117,11 @@ func (r *Report) OK() bool {
 }
 
 // Download retrieves the entire file described by x.
+//
+// The returned slice is borrowed from bufpool (ownership rule 4): the
+// caller owns it and may release it with bufpool.Put once done with the
+// contents, which lets a steady-state consumer download without a single
+// large allocation per file. Callers that keep the data simply never Put.
 func (t *Tools) Download(x *exnode.ExNode, opts DownloadOptions) ([]byte, *Report, error) {
 	return t.DownloadRange(x, 0, x.Size, opts)
 }
@@ -124,6 +130,8 @@ func (t *Tools) Download(x *exnode.ExNode, opts DownloadOptions) ([]byte, *Repor
 // range is split into extents at segment boundaries, each extent is
 // fetched from the best candidate depot with failover, and coded blocks
 // are used for recovery when every replica of an extent is unavailable.
+// The returned slice is pool-backed; see Download for the ownership
+// contract.
 func (t *Tools) DownloadRange(x *exnode.ExNode, offset, length int64, opts DownloadOptions) ([]byte, *Report, error) {
 	if err := x.Validate(); err != nil {
 		return nil, nil, err
@@ -133,7 +141,11 @@ func (t *Tools) DownloadRange(x *exnode.ExNode, offset, length int64, opts Downl
 	}
 	start := t.clock().Now()
 	exts := x.Boundaries(offset, offset+length)
-	buf := make([]byte, length)
+	// The assembly buffer is borrowed, not allocated: extents are fetched
+	// straight into their slot, and ownership passes to the caller on
+	// return (see Download). Beyond skipping the allocation this also
+	// skips zeroing `length` bytes the fetches are about to overwrite.
+	buf := bufpool.Get(int(length))
 	report := &Report{Extents: make([]ExtentReport, len(exts))}
 
 	dir := t.staticDirectoryIfNeeded(x, opts)
@@ -198,6 +210,7 @@ func (t *Tools) DownloadRange(x *exnode.ExNode, offset, length int64, opts Downl
 	report.Bytes = length
 	for _, er := range report.Extents {
 		if er.Err != nil {
+			bufpool.Put(buf)
 			return nil, report, fmt.Errorf("core: download %q: extent [%d,%d): %w",
 				x.Name, er.Start, er.End, er.Err)
 		}
@@ -211,21 +224,32 @@ func (t *Tools) DownloadRange(x *exnode.ExNode, offset, length int64, opts Downl
 
 // unsealRange decrypts downloaded bytes when the exNode is encrypted. CTR
 // mode makes arbitrary offsets decryptable independently.
+//
+// unsealRange consumes buf: on the plaintext path it is returned
+// unchanged (still owned by the caller), on every other path — fresh
+// plaintext or error — buf is released to the pool and must not be
+// touched again by the caller.
 func (t *Tools) unsealRange(x *exnode.ExNode, buf []byte, offset int64, opts DownloadOptions) ([]byte, error) {
 	if !x.Encrypted() || opts.Raw {
 		return buf, nil
 	}
 	if opts.DecryptionKey == nil {
+		bufpool.Put(buf)
 		return nil, ErrEncrypted
 	}
 	if x.Cipher != sealing.CipherAES256CTR {
+		bufpool.Put(buf)
 		return nil, fmt.Errorf("core: unsupported cipher %q", x.Cipher)
 	}
 	iv, err := sealing.DecodeIV(x.IV)
 	if err != nil {
+		bufpool.Put(buf)
 		return nil, err
 	}
 	plain, err := sealing.UnsealAt(opts.DecryptionKey, iv, buf, offset)
+	// Decryption produced a fresh plaintext buffer either way; the
+	// ciphertext one goes back to the pool.
+	bufpool.Put(buf)
 	if err != nil {
 		return nil, fmt.Errorf("core: unsealing %q: %w", x.Name, err)
 	}
@@ -325,7 +349,8 @@ func (t *Tools) fetchExtent(x *exnode.ExNode, ext exnode.Extent, dst []byte, opt
 }
 
 // tryCandidates is the plain sequential failover loop: each ranked
-// candidate is tried in turn until one serves the extent.
+// candidate is tried in turn until one serves the extent. Attempts load
+// straight into dst — sequential failover never has two writers.
 func (t *Tools) tryCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exnode.Extent, dst []byte, opts DownloadOptions, sc obs.SpanContext) bool {
 	max := opts.MaxAttemptsPerExtent
 	for i, m := range cands {
@@ -334,7 +359,7 @@ func (t *Tools) tryCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exn
 		}
 		er.Attempts++
 		t0 := t.clock().Now()
-		data, err := t.attemptLoad(m, ext, opts, nil, sc)
+		err := t.attemptLoad(m, ext, dst, opts, nil, sc)
 		a := Attempt{Depot: m.Depot, Addr: m.Read.Addr, Start: t0, Duration: t.clock().Since(t0)}
 		if err != nil {
 			a.Err = err.Error()
@@ -343,7 +368,6 @@ func (t *Tools) tryCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exn
 			er.Err = err
 			continue
 		}
-		copy(dst, data)
 		a.Bytes = ext.Len()
 		er.Trail = append(er.Trail, a)
 		er.Depot = m.Depot
@@ -358,8 +382,8 @@ func (t *Tools) tryCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exn
 // Each step races cands[i] as primary against cands[i+1] as the hedged
 // backup (launched only if the primary outlives the engine's threshold);
 // on total failure of a step the walk falls over past every candidate it
-// consumed. Each attempt loads into its own buffer — two hedged attempts
-// must never share dst — and the winner is copied out once.
+// consumed. The primary loads straight into dst; a launched backup loads
+// into a pooled buffer of its own and is copied out only when it wins.
 func (t *Tools) raceCandidates(er *ExtentReport, cands []*exnode.Mapping, ext exnode.Extent, dst []byte, opts DownloadOptions, sc obs.SpanContext) bool {
 	max := opts.MaxAttemptsPerExtent
 	for i := 0; i < len(cands); {
@@ -372,13 +396,28 @@ func (t *Tools) raceCandidates(er *ExtentReport, cands []*exnode.Mapping, ext ex
 			pair[1] = cands[i+1]
 			addrs[1] = cands[i+1].Read.Addr
 		}
-		var bufs [2][]byte
+		// Two hedged attempts must never share dst, but only the backup
+		// needs its own buffer: the primary loads straight into dst, so
+		// the common case (primary wins, no hedge or a lost hedge) moves
+		// every byte exactly once. HedgeCtx waits for every launched
+		// attempt before returning, so by the time the winner is resolved
+		// nobody is still writing either buffer — if the backup won, the
+		// primary's dead prefix in dst is simply overwritten by the copy.
+		var backup []byte
 		winner, out := t.Transfer.HedgeCtx(sc, addrs, func(idx int, cancel <-chan struct{}) error {
-			data, err := t.attemptLoad(pair[idx], ext, opts, cancel, sc)
-			if err != nil {
+			buf := dst
+			if idx == 1 {
+				buf = bufpool.Get(int(ext.Len()))
+			}
+			if err := t.attemptLoad(pair[idx], ext, buf, opts, cancel, sc); err != nil {
+				if idx == 1 {
+					bufpool.Put(buf)
+				}
 				return err
 			}
-			bufs[idx] = data
+			if idx == 1 {
+				backup = buf
+			}
 			return nil
 		})
 		launched := 0
@@ -402,12 +441,16 @@ func (t *Tools) raceCandidates(er *ExtentReport, cands []*exnode.Mapping, ext ex
 			er.Trail = append(er.Trail, a)
 		}
 		if winner >= 0 {
-			copy(dst, bufs[winner])
+			if winner == 1 {
+				copy(dst, backup)
+			}
+			bufpool.Put(backup)
 			er.Depot = pair[winner].Depot
 			er.Addr = pair[winner].Read.Addr
 			er.Err = nil
 			return true
 		}
+		bufpool.Put(backup)
 		if launched == 0 {
 			break
 		}
@@ -416,10 +459,11 @@ func (t *Tools) raceCandidates(er *ExtentReport, cands []*exnode.Mapping, ext ex
 	return false
 }
 
-// attemptLoad loads ext from one mapping into a fresh buffer and verifies
-// integrity when possible. A non-nil cancel may abandon the load mid-flight
-// (the losing side of a hedged race).
-func (t *Tools) attemptLoad(m *exnode.Mapping, ext exnode.Extent, opts DownloadOptions, cancel <-chan struct{}, sc obs.SpanContext) ([]byte, error) {
+// attemptLoad loads ext from one mapping into the caller-owned dst (which
+// must be exactly ext.Len() bytes) and verifies integrity when possible.
+// A non-nil cancel may abandon the load mid-flight (the losing side of a
+// hedged race); dst then holds an undefined prefix.
+func (t *Tools) attemptLoad(m *exnode.Mapping, ext exnode.Extent, dst []byte, opts DownloadOptions, cancel <-chan struct{}, sc obs.SpanContext) error {
 	off := ext.Start - m.Offset
 	t0 := t.clock().Now()
 	client := t.IBP
@@ -428,9 +472,8 @@ func (t *Tools) attemptLoad(m *exnode.Mapping, ext exnode.Extent, opts DownloadO
 		// the depot's server span both join the timeline beneath it.
 		client = t.IBP.WithSpan(sc)
 	}
-	data, err := client.LoadCancel(m.Read, off, ext.Len(), cancel)
-	if err != nil {
-		return nil, err
+	if err := client.LoadIntoCancel(dst, m.Read, off, cancel); err != nil {
+		return err
 	}
 	elapsed := t.clock().Since(t0)
 	// Feed the observation back into NWS: real downloads are the best
@@ -449,11 +492,11 @@ func (t *Tools) attemptLoad(m *exnode.Mapping, ext exnode.Extent, opts DownloadO
 	// End-to-end verification is possible when the extent spans the whole
 	// mapping (the digest covers the full stored fragment).
 	if !opts.SkipVerify && m.Checksum != "" && off == 0 && ext.Len() == m.Length {
-		if err := integrity.Verify(data, m.Checksum); err != nil {
-			return nil, err
+		if err := integrity.Verify(dst, m.Checksum); err != nil {
+			return err
 		}
 	}
-	return data, nil
+	return nil
 }
 
 // rankCandidates orders mappings per the strategy, then demotes depots

@@ -16,10 +16,19 @@ import (
 // file to now+duration (paper §2.3). It updates mapping expirations in
 // place and returns the number refreshed plus the first error encountered
 // (refreshing continues past individual failures — a partially refreshed
-// exNode is still better than an expired one).
+// exNode is still better than an expired one). Mappings on the same depot
+// are extended in one pipelined BATCH round trip; per-op results keep
+// partial failure composable.
 func (t *Tools) Refresh(x *exnode.ExNode, duration time.Duration) (int, error) {
 	var firstErr error
-	refreshed := 0
+	fail := func(m *exnode.Mapping, err error) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: refresh %s segment [%d,%d): %w", m.Depot, m.Offset, m.End(), err)
+		}
+	}
+	// Group refreshable mappings by depot, preserving order within a group.
+	byDepot := map[string][]*exnode.Mapping{}
+	var addrs []string
 	for _, m := range x.Mappings {
 		if m.Manage.IsZero() {
 			continue
@@ -29,20 +38,46 @@ func (t *Tools) Refresh(x *exnode.ExNode, duration time.Duration) (int, error) {
 			// failure would count against nothing useful. Skip it; the next
 			// Refresh after the breaker recloses will catch the mapping up.
 			t.logf("core: refresh %s segment [%d,%d): skipped, depot circuit open", m.Depot, m.Offset, m.End())
-			if firstErr == nil {
-				firstErr = fmt.Errorf("core: refresh %s segment [%d,%d): %w", m.Depot, m.Offset, m.End(), health.ErrCircuitOpen)
-			}
+			fail(m, health.ErrCircuitOpen)
 			continue
 		}
-		exp, err := t.IBP.Extend(m.Manage, duration)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("core: refresh %s segment [%d,%d): %w", m.Depot, m.Offset, m.End(), err)
-			}
-			continue
+		if _, ok := byDepot[m.Manage.Addr]; !ok {
+			addrs = append(addrs, m.Manage.Addr)
 		}
-		m.Expires = exp
-		refreshed++
+		byDepot[m.Manage.Addr] = append(byDepot[m.Manage.Addr], m)
+	}
+	refreshed := 0
+	for _, addr := range addrs {
+		ms := byDepot[addr]
+		// One EXTEND per mapping, chunked to the batch size cap.
+		for lo := 0; lo < len(ms); lo += ibp.MaxBatchOps {
+			hi := lo + ibp.MaxBatchOps
+			if hi > len(ms) {
+				hi = len(ms)
+			}
+			chunk := ms[lo:hi]
+			ops := make([]ibp.BatchOp, len(chunk))
+			for i, m := range chunk {
+				ops[i] = ibp.ExtendOp(m.Manage, duration)
+			}
+			res, err := t.IBP.Batch(addr, ops)
+			if err != nil {
+				// The whole exchange failed (dial error, circuit open):
+				// every mapping in the chunk stays unrefreshed.
+				for _, m := range chunk {
+					fail(m, err)
+				}
+				continue
+			}
+			for i, m := range chunk {
+				if res[i].Err != nil {
+					fail(m, res[i].Err)
+					continue
+				}
+				m.Expires = res[i].Expires
+				refreshed++
+			}
+		}
 	}
 	return refreshed, firstErr
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/exnode"
 	"repro/internal/geo"
 )
@@ -31,6 +32,7 @@ type streamReader struct {
 	sched    int                    // next extent index to schedule
 	next     int                    // next extent index to consume
 	buf      []byte                 // unread remainder of the current extent
+	cur      []byte                 // pooled buffer backing buf (nil when buf owns its bytes)
 	err      error                  // latched permanent error
 	report   *Report
 	closed   bool
@@ -103,7 +105,10 @@ func (r *streamReader) schedule() {
 				ch <- extentRes{er: ExtentReport{Start: ext.Start, End: ext.End, Err: ErrBudgetExceeded}}
 				return
 			}
-			dst := make([]byte, ext.Len())
+			// A pooled buffer per in-flight extent: the pool's footprint is
+			// bounded by the readahead window, and the buffer is released
+			// once the extent is consumed (or its fetch fails).
+			dst := bufpool.Get(int(ext.Len()))
 			// The seed mix is the extent index — identical to
 			// DownloadRange's worker path, so StrategyRandom produces the
 			// same candidate order whether a range is streamed or
@@ -124,6 +129,12 @@ func (r *streamReader) Read(p []byte) (int, error) {
 		return 0, r.err
 	}
 	for len(r.buf) == 0 {
+		// The previous extent is fully consumed: its pooled buffer goes
+		// back before the next one is fetched.
+		if r.cur != nil {
+			bufpool.Put(r.cur)
+			r.cur = nil
+		}
 		if r.next >= len(r.exts) {
 			return 0, io.EOF
 		}
@@ -141,9 +152,12 @@ func (r *streamReader) Read(p []byte) (int, error) {
 			// Do not advance: the extent was never delivered. Latch so a
 			// caller that retries Read gets the failure again instead of
 			// the next extent's bytes spliced over the hole.
+			bufpool.Put(res.data)
 			r.err = res.er.Err
 			return 0, r.err
 		}
+		// unsealRange consumes res.data: on the plaintext path it comes
+		// back as data, otherwise it is already released to the pool.
 		data, err := r.t.unsealRange(r.x, res.data, ext.Start, r.opts)
 		if err != nil {
 			r.err = err
@@ -152,6 +166,9 @@ func (r *streamReader) Read(p []byte) (int, error) {
 		r.report.Bytes += ext.Len()
 		r.next++ // advance only once the extent is fully in hand
 		r.buf = data
+		if !r.x.Encrypted() || r.opts.Raw {
+			r.cur = data
+		}
 	}
 	n := copy(p, r.buf)
 	r.buf = r.buf[n:]
@@ -159,9 +176,15 @@ func (r *streamReader) Read(p []byte) (int, error) {
 }
 
 // Close releases the reader. In-flight readahead fetches finish in the
-// background and are discarded (their result channels are buffered).
+// background and are discarded (their result channels are buffered; their
+// pooled buffers are simply dropped to the garbage collector, which the
+// pool contract allows).
 func (r *streamReader) Close() error {
 	r.closed = true
 	r.buf = nil
+	if r.cur != nil {
+		bufpool.Put(r.cur)
+		r.cur = nil
+	}
 	return nil
 }

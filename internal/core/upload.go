@@ -272,17 +272,17 @@ func (t *Tools) Upload(name string, data []byte, opts UploadOptions) (*exnode.Ex
 }
 
 // uploadFragment stores one extent of data on one depot and returns its
-// mapping.
+// mapping. The allocate and store run as one pipelined BATCH round trip
+// (falling back to sequential verbs against depots that predate BATCH).
 func (t *Tools) uploadFragment(name string, data []byte, ext exnode.Extent, depot lbone.DepotInfo, replica int, opts UploadOptions) (*exnode.Mapping, error) {
 	payload := data[ext.Start:ext.End]
-	set, err := t.IBP.Allocate(depot.Addr, ext.Len(), opts.Duration, opts.Reliability)
+	set, err := t.IBP.AllocateStore(depot.Addr, ext.Len(), opts.Duration, opts.Reliability, payload)
 	if err != nil {
-		return nil, fmt.Errorf("core: upload %q fragment [%d,%d) on %s: %w",
-			name, ext.Start, ext.End, depot.Name, err)
-	}
-	if _, err := t.IBP.Store(set.Write, payload); err != nil {
-		// Best-effort cleanup of the stranded allocation.
-		t.IBP.Delete(set.Manage)
+		if !set.Manage.IsZero() {
+			// The allocation succeeded but the store did not: best-effort
+			// cleanup of the stranded byte array.
+			t.IBP.Delete(set.Manage)
+		}
 		return nil, fmt.Errorf("core: upload %q fragment [%d,%d) on %s: %w",
 			name, ext.Start, ext.End, depot.Name, err)
 	}

@@ -16,7 +16,13 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"repro/internal/bufpool"
 )
+
+// copyChunkSize is the pooled scratch-buffer size for streaming file-backed
+// segments to the wire.
+const copyChunkSize = 256 << 10
 
 // Backend abstracts the local storage a depot serves ("Local Access" /
 // "Physical" layers of the stack diagram). Implementations must be safe for
@@ -31,7 +37,10 @@ type Backend interface {
 
 // Handle is one byte array held by a backend.
 type Handle interface {
-	// Append writes p at the current end and returns the new length.
+	// Append writes p at the current end and returns the new length. The
+	// callee must not retain p past return (p is typically a pooled buffer
+	// the depot releases immediately after); copy if the bytes are needed
+	// later.
 	Append(p []byte) (int64, error)
 	// ReadAt fills p from the given offset. Short reads are errors.
 	ReadAt(p []byte, off int64) error
@@ -39,6 +48,17 @@ type Handle interface {
 	Len() int64
 	// Close releases any per-handle resources (not the stored data).
 	Close() error
+}
+
+// SegmentWriter is an optional Handle capability: WriteSegment streams the
+// byte range [off, off+n) directly to w without materializing it in an
+// intermediate buffer. Because byte arrays are append-only, a written range
+// is immutable and implementations may stream it outside any handle lock;
+// the depot uses this to serve LOAD responses zero-copy. A short write or
+// any error leaves w in an unknown state — the caller must treat the
+// destination as broken.
+type SegmentWriter interface {
+	WriteSegment(w io.Writer, off, n int64) (int64, error)
 }
 
 // ErrAllocFull is returned when an append would exceed the allocation size.
@@ -136,6 +156,21 @@ func (h *memHandle) Len() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return int64(len(h.buf))
+}
+
+// WriteSegment implements SegmentWriter. Only the slice header is read under
+// the lock: bytes [0, len) never change after being written (append may
+// reallocate, but the old array stays intact), so the write to w can run
+// unlocked and concurrent appends are never observed.
+func (h *memHandle) WriteSegment(w io.Writer, off, n int64) (int64, error) {
+	h.mu.Lock()
+	buf := h.buf
+	h.mu.Unlock()
+	if off < 0 || n < 0 || off+n > int64(len(buf)) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	m, err := w.Write(buf[off : off+n])
+	return int64(m), err
 }
 
 func (h *memHandle) Close() error { return nil }
@@ -282,6 +317,25 @@ func (h *fileHandle) Len() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.size
+}
+
+// WriteSegment implements SegmentWriter. The size check happens under the
+// lock; the copy itself runs unlocked because written file ranges are never
+// rewritten, and os.File.ReadAt is safe for concurrent use.
+func (h *fileHandle) WriteSegment(w io.Writer, off, n int64) (int64, error) {
+	h.mu.Lock()
+	size := h.size
+	h.mu.Unlock()
+	if off < 0 || n < 0 || off+n > size {
+		return 0, io.ErrUnexpectedEOF
+	}
+	chunk := bufpool.Get(copyChunkSize)
+	defer bufpool.Put(chunk)
+	m, err := io.CopyBuffer(w, io.NewSectionReader(h.f, off, n), chunk)
+	if err != nil {
+		return m, fmt.Errorf("depot: stream read: %w", err)
+	}
+	return m, nil
 }
 
 func (h *fileHandle) Close() error { return h.f.Close() }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/ibp"
 	"repro/internal/netx"
 	"repro/internal/obs"
@@ -306,6 +307,10 @@ func (d *Depot) serveConn(raw net.Conn, queueWait time.Duration) {
 	}
 	d.metrics.Connects.Add(1)
 	defer d.untrack(raw)
+	// Default (small) wire buffers: dial-per-op clients create a fresh
+	// server conn per exchange, and large payloads bypass the buffer in
+	// both directions anyway, so big per-conn buffers here only add
+	// alloc+zero cost without moving throughput.
 	conn := &connCtx{Conn: wire.NewConn(raw), queueWait: queueWait}
 	defer conn.Close()
 	for {
@@ -389,6 +394,8 @@ func (d *Depot) dispatch(conn *connCtx, toks []string) bool {
 		err = d.handleCopy(conn, args)
 	case ibp.OpMCopy:
 		err = d.handleMCopy(conn, args)
+	case ibp.OpBatch:
+		err = d.handleBatch(conn, args)
 	case ibp.OpQuit:
 		return false
 	default:
@@ -519,32 +526,45 @@ func (d *Depot) ReapExpired() int {
 }
 
 func (d *Depot) handleAllocate(conn *connCtx, args []string) error {
+	set, rerr := d.allocate(conn, args)
+	if rerr != nil {
+		return conn.remoteErr(rerr)
+	}
+	return conn.WriteOK(set.Read.String(), set.Write.String(), set.Manage.String())
+}
+
+// allocate performs ALLOCATE without writing a response, so the batch path
+// can capture the minted capability set for batch-local references.
+func (d *Depot) allocate(conn *connCtx, args []string) (ibp.CapSet, *wire.RemoteError) {
+	fail := func(code, format string, fargs ...any) (ibp.CapSet, *wire.RemoteError) {
+		return ibp.CapSet{}, &wire.RemoteError{Code: code, Message: fmt.Sprintf(format, fargs...)}
+	}
 	if len(args) != 3 {
-		return conn.WriteErr(wire.CodeBadRequest, "ALLOCATE wants <maxsize> <duration> <reliability>")
+		return fail(wire.CodeBadRequest, "ALLOCATE wants <maxsize> <duration> <reliability>")
 	}
 	maxSize, err := wire.ParseInt("maxsize", args[0])
 	if err != nil || maxSize <= 0 {
-		return conn.WriteErr(wire.CodeBadRequest, "bad maxsize %q", args[0])
+		return fail(wire.CodeBadRequest, "bad maxsize %q", args[0])
 	}
 	durSec, err := wire.ParseInt("duration", args[1])
 	if err != nil || durSec <= 0 {
-		return conn.WriteErr(wire.CodeBadRequest, "bad duration %q", args[1])
+		return fail(wire.CodeBadRequest, "bad duration %q", args[1])
 	}
 	rel := ibp.Reliability(args[2])
 	if !ibp.ValidReliability(rel) {
-		return conn.WriteErr(wire.CodeBadRequest, "bad reliability %q", args[2])
+		return fail(wire.CodeBadRequest, "bad reliability %q", args[2])
 	}
 	dur := time.Duration(durSec) * time.Second
 	if dur > d.cfg.MaxDuration {
-		return conn.WriteErr(wire.CodeDurationCap, "duration %v exceeds depot limit %v", dur, d.cfg.MaxDuration)
+		return fail(wire.CodeDurationCap, "duration %v exceeds depot limit %v", dur, d.cfg.MaxDuration)
 	}
 	if maxSize > d.cfg.MaxAllocSize {
-		return conn.WriteErr(wire.CodeQuotaReached, "size %d exceeds per-allocation limit %d", maxSize, d.cfg.MaxAllocSize)
+		return fail(wire.CodeQuotaReached, "size %d exceeds per-allocation limit %d", maxSize, d.cfg.MaxAllocSize)
 	}
 
 	key, err := ibp.NewKey()
 	if err != nil {
-		return conn.WriteErr(wire.CodeInternal, "key generation failed")
+		return fail(wire.CodeInternal, "key generation failed")
 	}
 
 	d.mu.Lock()
@@ -561,7 +581,7 @@ func (d *Depot) handleAllocate(conn *connCtx, args []string) error {
 	if d.used+maxSize > d.cfg.Capacity {
 		avail := d.cfg.Capacity - d.used
 		d.mu.Unlock()
-		return conn.WriteErr(wire.CodeNoSpace, "need %d bytes, %d available", maxSize, avail)
+		return fail(wire.CodeNoSpace, "need %d bytes, %d available", maxSize, avail)
 	}
 	d.used += maxSize
 	d.mu.Unlock()
@@ -573,7 +593,7 @@ func (d *Depot) handleAllocate(conn *connCtx, args []string) error {
 		d.mu.Lock()
 		d.used -= maxSize
 		d.mu.Unlock()
-		return conn.WriteErr(wire.CodeInternal, "backend create failed")
+		return fail(wire.CodeInternal, "backend create failed")
 	}
 	a := &allocation{
 		key:         key,
@@ -589,8 +609,7 @@ func (d *Depot) handleAllocate(conn *connCtx, args []string) error {
 	d.persistMeta(a)
 
 	d.metrics.Allocates.Add(1)
-	set := ibp.MintSet(d.cfg.Secret, d.cfg.Advertised, key)
-	return conn.WriteOK(set.Read.String(), set.Write.String(), set.Manage.String())
+	return ibp.MintSet(d.cfg.Secret, d.cfg.Advertised, key), nil
 }
 
 func (d *Depot) handleStore(conn *connCtx, args []string) error {
@@ -602,11 +621,14 @@ func (d *Depot) handleStore(conn *connCtx, args []string) error {
 		return conn.WriteErr(wire.CodeBadRequest, "bad length %q", args[1])
 	}
 	// The payload follows the request line regardless of capability
-	// validity, so consume it before replying with any error.
-	data, err := conn.ReadBlob(n)
+	// validity, so consume it before replying with any error. The buffer is
+	// pooled: Append copies out of it (the Handle contract forbids
+	// retention), so it goes back to the pool on every path.
+	data, err := conn.ReadBlobPooled(n)
 	if err != nil {
 		return fmt.Errorf("reading store payload: %w", err)
 	}
+	defer bufpool.Put(data)
 	a, rerr := d.resolve(args[0], ibp.CapWrite)
 	if rerr != nil {
 		return conn.remoteErr(rerr)
@@ -644,6 +666,33 @@ func (d *Depot) handleLoad(conn *connCtx, args []string) error {
 	if rerr != nil {
 		return conn.remoteErr(rerr)
 	}
+	// Zero-copy fast path: stream the segment straight from the backend to
+	// the wire. Traced operations take the buffered path so the span's
+	// backend-time attribution stays exact (streaming interleaves backend
+	// reads with network writes).
+	if sw, ok := a.handle.(SegmentWriter); ok && conn.span == nil {
+		a.mu.Lock()
+		have := a.handle.Len()
+		a.mu.Unlock()
+		if off+n > have {
+			return conn.WriteErr(wire.CodeOutOfRange, "read [%d,%d) beyond written length %d", off, off+n, have)
+		}
+		if err := conn.WriteOK(wire.Itoa(n)); err != nil {
+			return err
+		}
+		// Once the OK is written the payload must follow whole; any failure
+		// here leaves the stream unframed, so the error closes the
+		// connection rather than attempting an in-band reply.
+		if _, err := sw.WriteSegment(conn.PayloadWriter(), off, n); err != nil {
+			return fmt.Errorf("streaming load payload: %w", err)
+		}
+		if err := conn.Flush(); err != nil {
+			return err
+		}
+		d.metrics.Loads.Add(1)
+		d.metrics.BytesOut.Add(n)
+		return nil
+	}
 	bt := d.clock.Now()
 	a.mu.Lock()
 	have := a.handle.Len()
@@ -651,20 +700,26 @@ func (d *Depot) handleLoad(conn *connCtx, args []string) error {
 		a.mu.Unlock()
 		return conn.WriteErr(wire.CodeOutOfRange, "read [%d,%d) beyond written length %d", off, off+n, have)
 	}
-	buf := make([]byte, n)
+	buf := bufpool.Get(int(n))
 	err = a.handle.ReadAt(buf, off)
 	a.mu.Unlock()
 	conn.noteBackend(d.clock.Since(bt))
 	if err != nil {
+		bufpool.Put(buf)
 		return conn.WriteErr(wire.CodeInternal, "read failed")
 	}
 	d.metrics.Loads.Add(1)
 	d.metrics.BytesOut.Add(n)
 	conn.noteBytes(n)
 	if err := conn.WriteOK(wire.Itoa(n)); err != nil {
+		bufpool.Put(buf)
 		return err
 	}
-	return conn.WriteBlob(buf)
+	// WriteBlob flushes before returning, so nothing downstream still
+	// references the pooled buffer afterwards.
+	err = conn.WriteBlob(buf)
+	bufpool.Put(buf)
+	return err
 }
 
 func (d *Depot) handleProbe(conn *connCtx, args []string) error {
@@ -767,7 +822,8 @@ func (d *Depot) handleCopy(conn *connCtx, args []string) error {
 		a.mu.Unlock()
 		return conn.WriteErr(wire.CodeOutOfRange, "read [%d,%d) beyond written length %d", off, off+n, have)
 	}
-	buf := make([]byte, n)
+	buf := bufpool.Get(int(n))
+	defer bufpool.Put(buf) // Store is synchronous and does not retain buf
 	err = a.handle.ReadAt(buf, off)
 	a.mu.Unlock()
 	conn.noteBackend(d.clock.Since(bt))
@@ -822,7 +878,8 @@ func (d *Depot) handleMCopy(conn *connCtx, args []string) error {
 		a.mu.Unlock()
 		return conn.WriteErr(wire.CodeOutOfRange, "read [%d,%d) beyond written length %d", off, off+n, have)
 	}
-	buf := make([]byte, n)
+	buf := bufpool.Get(int(n))
+	defer bufpool.Put(buf) // per-destination Stores are synchronous
 	err = a.handle.ReadAt(buf, off)
 	a.mu.Unlock()
 	conn.noteBackend(d.clock.Since(bt))

@@ -36,6 +36,10 @@ func (d *Depot) PromMetrics() []obs.Metric {
 	opCount("probe", s.Probes)
 	opCount("extend", s.Extends)
 	opCount("delete", s.Deletes)
+	// BATCH stays off the fixed-width METRICS wire response (old clients
+	// parse 13 counters positionally), but scrapers should still see
+	// pipelining adoption.
+	opCount("batch", s.Batches)
 	counter("ibp_depot_bytes_in_total", "Payload bytes stored.", s.BytesIn)
 	counter("ibp_depot_bytes_out_total", "Payload bytes served.", s.BytesOut)
 	counter("ibp_depot_errors_total", "Requests answered with ERR.", s.Errors)

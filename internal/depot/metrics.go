@@ -23,6 +23,8 @@ type Metrics struct {
 	Connects   atomic.Int64 // connections accepted
 	Restores   atomic.Int64 // allocations restored at startup
 	Violations atomic.Int64 // capability verification failures
+	Batches    atomic.Int64 // BATCH exchanges served (not on the METRICS wire
+	// response, which stays at 13 counters for old clients)
 }
 
 // MetricsSnapshot is a plain-value copy for reporting.
@@ -30,6 +32,7 @@ type MetricsSnapshot struct {
 	Allocates, Stores, Loads, Probes, Extends, Deletes int64
 	BytesIn, BytesOut                                  int64
 	Errors, Reaped, Connects, Restores, Violations     int64
+	Batches                                            int64
 }
 
 // Snapshot copies the counters.
@@ -48,6 +51,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Connects:   m.Connects.Load(),
 		Restores:   m.Restores.Load(),
 		Violations: m.Violations.Load(),
+		Batches:    m.Batches.Load(),
 	}
 }
 

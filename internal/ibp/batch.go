@@ -1,0 +1,496 @@
+package ibp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// The batched verb path: N operations per round trip on one pooled
+// connection. The request stream is "BATCH <n>" followed by n standard
+// single-verb request lines (STORE payloads inline after their lines), all
+// flushed as one network write. The response stream is the batch ack
+// followed by n standard single-verb responses in order.
+//
+// Because sub-requests are byte-identical to ordinary verbs, a depot that
+// predates BATCH answers ERR UNSUPPORTED to the header and then executes
+// the already-pipelined stream as plain operations — the client still reads
+// n responses and the semantics are unchanged. The only feature that
+// genuinely needs a new depot is the batch-local capability reference
+// ("@<i>", resolving to the allocation minted by sub-op i of the same
+// batch); Batch falls back to sequential single verbs when it already knows
+// the depot is old and refs are present.
+
+// BatchOp describes one sub-operation of a pipelined batch. Verb selects
+// which fields matter:
+//
+//   - OpAllocate: MaxSize, Duration, Rel
+//   - OpStore:    Cap or Ref, Data
+//   - OpLoad:     Cap or Ref, Offset, Length
+//   - OpExtend:   Cap or Ref, Duration
+//   - OpProbe:    Cap or Ref
+//   - OpDelete:   Cap or Ref
+//
+// Ref < 0 (the zero value via NewBatchOp helpers uses -1) means Cap names
+// the allocation; Ref >= 0 references the CapSet minted by the ALLOCATE at
+// that index in the same batch, and the appropriate capability (write for
+// STORE, read for LOAD, manage otherwise) is derived server-side.
+type BatchOp struct {
+	Verb     string
+	MaxSize  int64
+	Duration time.Duration
+	Rel      Reliability
+	Cap      Cap
+	Ref      int
+	Data     []byte
+	Offset   int64
+	Length   int64
+}
+
+// BatchResult is the outcome of one sub-operation. Exactly one of the
+// payload fields is meaningful, matching the op's verb; Err is non-nil when
+// the sub-operation failed (remote per-op errors and transport errors
+// both land here — a dead connection mid-batch fails every unanswered op).
+type BatchResult struct {
+	Err     error
+	Caps    CapSet    // ALLOCATE
+	NewLen  int64     // STORE
+	Data    []byte    // LOAD (plain allocation, caller-owned)
+	Expires time.Time // EXTEND
+	Info    AllocInfo // PROBE
+	RefCnt  int       // DELETE
+}
+
+// AllocateOp builds an ALLOCATE sub-op.
+func AllocateOp(maxSize int64, duration time.Duration, rel Reliability) BatchOp {
+	return BatchOp{Verb: OpAllocate, MaxSize: maxSize, Duration: duration, Rel: rel, Ref: -1}
+}
+
+// StoreOp builds a STORE sub-op against an existing write capability.
+func StoreOp(w Cap, data []byte) BatchOp {
+	return BatchOp{Verb: OpStore, Cap: w, Ref: -1, Data: data}
+}
+
+// StoreRefOp builds a STORE sub-op against the allocation minted by the
+// ALLOCATE at index ref in the same batch.
+func StoreRefOp(ref int, data []byte) BatchOp {
+	return BatchOp{Verb: OpStore, Ref: ref, Data: data}
+}
+
+// LoadOp builds a LOAD sub-op.
+func LoadOp(r Cap, offset, length int64) BatchOp {
+	return BatchOp{Verb: OpLoad, Cap: r, Ref: -1, Offset: offset, Length: length}
+}
+
+// ExtendOp builds an EXTEND sub-op.
+func ExtendOp(m Cap, duration time.Duration) BatchOp {
+	return BatchOp{Verb: OpExtend, Cap: m, Ref: -1, Duration: duration}
+}
+
+// batchRef renders a batch-local capability reference token.
+func batchRef(i int) string { return "@" + strconv.Itoa(i) }
+
+// ParseBatchRef decodes an "@<i>" token; ok is false for ordinary tokens.
+func ParseBatchRef(tok string) (int, bool) {
+	if !strings.HasPrefix(tok, "@") {
+		return 0, false
+	}
+	i, err := strconv.Atoi(tok[1:])
+	if err != nil || i < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// usesRefs reports whether any op references a batch-local allocation.
+func usesRefs(ops []BatchOp) bool {
+	for _, op := range ops {
+		if op.Verb != OpAllocate && op.Ref >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// validateBatch sanity-checks ops client-side so malformed batches fail
+// before touching the network: known verbs, refs pointing at earlier
+// ALLOCATEs, capability types matching verbs, payloads under the wire cap.
+func validateBatch(ops []BatchOp) error {
+	if len(ops) == 0 {
+		return errors.New("ibp: empty batch")
+	}
+	if len(ops) > MaxBatchOps {
+		return fmt.Errorf("ibp: batch of %d ops exceeds limit %d", len(ops), MaxBatchOps)
+	}
+	for i, op := range ops {
+		switch op.Verb {
+		case OpAllocate:
+			if op.MaxSize <= 0 {
+				return fmt.Errorf("ibp: batch op %d: allocation size must be positive", i)
+			}
+			if !ValidReliability(op.Rel) {
+				return fmt.Errorf("ibp: batch op %d: bad reliability %q", i, op.Rel)
+			}
+			continue
+		case OpStore, OpLoad, OpExtend, OpProbe, OpDelete:
+		default:
+			return fmt.Errorf("ibp: batch op %d: verb %q not batchable", i, op.Verb)
+		}
+		if op.Ref >= 0 {
+			if op.Ref >= i || ops[op.Ref].Verb != OpAllocate {
+				return fmt.Errorf("ibp: batch op %d: ref @%d does not name an earlier ALLOCATE", i, op.Ref)
+			}
+		} else {
+			want := map[string]CapType{
+				OpStore: CapWrite, OpLoad: CapRead,
+				OpExtend: CapManage, OpProbe: CapManage, OpDelete: CapManage,
+			}[op.Verb]
+			if op.Cap.Type != want {
+				return fmt.Errorf("ibp: batch op %d: %s requires a %s capability, got %s", i, op.Verb, want, op.Cap.Type)
+			}
+		}
+		switch op.Verb {
+		case OpStore:
+			if int64(len(op.Data)) > wire.MaxBlobLen {
+				return fmt.Errorf("ibp: batch op %d: payload exceeds wire limit", i)
+			}
+		case OpLoad:
+			if op.Offset < 0 || op.Length < 0 {
+				return fmt.Errorf("ibp: batch op %d: negative offset or length", i)
+			}
+		case OpExtend:
+			if op.Duration <= 0 {
+				return fmt.Errorf("ibp: batch op %d: duration must be positive", i)
+			}
+		}
+	}
+	return nil
+}
+
+// capToken renders the capability token for op, using an @-reference when
+// the op targets a batch-local allocation.
+func (op BatchOp) capToken() string {
+	if op.Ref >= 0 {
+		return batchRef(op.Ref)
+	}
+	return op.Cap.Token()
+}
+
+// writeBatchOp appends one sub-request (line plus any payload) to the
+// connection's write buffer without flushing.
+func writeBatchOp(conn *wire.Conn, op BatchOp) error {
+	switch op.Verb {
+	case OpAllocate:
+		return conn.WriteLineBuffered(OpAllocate, wire.Itoa(op.MaxSize),
+			wire.Itoa(int64(op.Duration.Seconds())), string(op.Rel))
+	case OpStore:
+		if err := conn.WriteLineBuffered(OpStore, op.capToken(), wire.Itoa(int64(len(op.Data)))); err != nil {
+			return err
+		}
+		return conn.WriteBlobBuffered(op.Data)
+	case OpLoad:
+		return conn.WriteLineBuffered(OpLoad, op.capToken(), wire.Itoa(op.Offset), wire.Itoa(op.Length))
+	case OpExtend:
+		return conn.WriteLineBuffered(OpExtend, op.capToken(), wire.Itoa(int64(op.Duration.Seconds())))
+	case OpProbe:
+		return conn.WriteLineBuffered(OpProbe, op.capToken())
+	case OpDelete:
+		return conn.WriteLineBuffered(OpDelete, op.capToken())
+	default:
+		return fmt.Errorf("ibp: verb %q not batchable", op.Verb)
+	}
+}
+
+// readBatchResult parses one sub-response. A *wire.RemoteError lands in
+// res.Err with the connection still usable (the next response follows); any
+// other error means the connection state is unknown and the batch must
+// stop.
+func readBatchResult(conn *wire.Conn, op BatchOp, res *BatchResult) error {
+	toks, err := conn.ReadStatus()
+	if err != nil {
+		if wire.IsRemoteAny(err) {
+			res.Err = err
+			return nil
+		}
+		return err
+	}
+	switch op.Verb {
+	case OpAllocate:
+		if len(toks) != 3 {
+			return fmt.Errorf("ibp: batch allocate: want 3 caps, got %d", len(toks))
+		}
+		for i, dst := range []*Cap{&res.Caps.Read, &res.Caps.Write, &res.Caps.Manage} {
+			c, err := ParseCap(toks[i])
+			if err != nil {
+				return fmt.Errorf("ibp: batch allocate: %w", err)
+			}
+			*dst = c
+		}
+	case OpStore:
+		if len(toks) != 2 {
+			return fmt.Errorf("ibp: batch store: malformed response %v", toks)
+		}
+		if res.NewLen, err = wire.ParseInt("length", toks[1]); err != nil {
+			return err
+		}
+	case OpLoad:
+		if len(toks) != 1 {
+			return fmt.Errorf("ibp: batch load: malformed response %v", toks)
+		}
+		n, err := wire.ParseInt("length", toks[0])
+		if err != nil {
+			return err
+		}
+		if n != op.Length {
+			return fmt.Errorf("ibp: batch load: depot returned %d bytes, want %d", n, op.Length)
+		}
+		if res.Data, err = conn.ReadBlob(n); err != nil {
+			return err
+		}
+	case OpExtend:
+		if len(toks) != 1 {
+			return fmt.Errorf("ibp: batch extend: malformed response %v", toks)
+		}
+		exp, err := wire.ParseInt("expires", toks[0])
+		if err != nil {
+			return err
+		}
+		res.Expires = time.Unix(exp, 0).UTC()
+	case OpProbe:
+		if len(toks) != 5 {
+			return fmt.Errorf("ibp: batch probe: malformed response %v", toks)
+		}
+		if res.Info.MaxSize, err = wire.ParseInt("maxsize", toks[0]); err != nil {
+			return err
+		}
+		if res.Info.Size, err = wire.ParseInt("size", toks[1]); err != nil {
+			return err
+		}
+		exp, err := wire.ParseInt("expires", toks[2])
+		if err != nil {
+			return err
+		}
+		res.Info.Expires = time.Unix(exp, 0).UTC()
+		res.Info.Reliability = Reliability(toks[3])
+		ref, err := wire.ParseInt("refcount", toks[4])
+		if err != nil {
+			return err
+		}
+		res.Info.RefCount = int(ref)
+	case OpDelete:
+		if len(toks) != 1 {
+			return fmt.Errorf("ibp: batch delete: malformed response %v", toks)
+		}
+		ref, err := wire.ParseInt("refcount", toks[0])
+		if err != nil {
+			return err
+		}
+		res.RefCnt = int(ref)
+	}
+	return nil
+}
+
+// Batch runs ops against the depot at addr as one pipelined exchange and
+// returns one result per op, in order. The exchange is never retried (it
+// may contain non-idempotent STOREs); a connection failure mid-batch fails
+// the unanswered ops with that error while keeping the outcomes of the ops
+// already answered. Each sub-operation is reported to the health scoreboard
+// and the observer individually, exactly as the single-verb path would
+// report it — a batch is N operations, not one.
+//
+// A non-nil error means the batch could not run at all (validation,
+// circuit breaker, or sequential-fallback setup); results is nil then.
+func (c *Client) Batch(addr string, ops []BatchOp) ([]BatchResult, error) {
+	if err := validateBatch(ops); err != nil {
+		return nil, err
+	}
+	if usesRefs(ops) && !c.batches.allowed(addr) {
+		// The depot is known to predate BATCH and the batch leans on
+		// batch-local references only a new depot resolves: run the ops as
+		// plain sequential verbs (each reporting its own outcome via
+		// withConn).
+		return c.sequentialBatch(addr, ops)
+	}
+	if c.health != nil {
+		if err := c.health.Allow(addr); err != nil {
+			if c.obs != nil {
+				c.obs.Record(obs.Event{
+					Time: c.clock.Now(), Verb: OpBatch, Depot: addr,
+					Outcome: "circuit-open", Err: err.Error(),
+				})
+			}
+			return nil, err
+		}
+	}
+	start := c.clock.Now()
+	conn, reused, err := c.acquire(addr)
+	results := make([]BatchResult, len(ops))
+	if err != nil {
+		c.finishBatch(addr, ops, results, err, 0, reused, start)
+		return results, nil
+	}
+	answered, err := c.runBatch(conn, addr, ops, results)
+	c.release(addr, conn, err)
+	c.finishBatch(addr, ops, results, err, answered, reused, start)
+	return results, nil
+}
+
+// runBatch performs the pipelined exchange on an acquired connection. It
+// returns how many sub-responses were fully read and the transport error
+// that stopped the exchange (nil when all n were answered). Per-op remote
+// errors are recorded in results and do not stop the exchange.
+func (c *Client) runBatch(conn *wire.Conn, addr string, ops []BatchOp, results []BatchResult) (int, error) {
+	if err := conn.WriteLineBuffered(OpBatch, wire.Itoa(int64(len(ops)))); err != nil {
+		return 0, err
+	}
+	for _, op := range ops {
+		if err := writeBatchOp(conn, op); err != nil {
+			return 0, err
+		}
+	}
+	if err := conn.Flush(); err != nil {
+		return 0, err
+	}
+	// Batch ack. An old depot rejects the header with UNSUPPORTED but still
+	// executes the pipelined sub-requests as ordinary verbs, so either way n
+	// per-op responses follow.
+	if _, err := conn.ReadStatus(); err != nil {
+		if !wire.IsRemote(err, wire.CodeUnsupported) {
+			return 0, err
+		}
+		c.batches.markUnsupported(addr)
+	}
+	for i := range ops {
+		if err := readBatchResult(conn, ops[i], &results[i]); err != nil {
+			results[i].Err = err
+			return i, err
+		}
+	}
+	return len(ops), nil
+}
+
+// finishBatch fails every unanswered result with the transport error and
+// emits per-op health reports and observer events. The batch's wall time is
+// split evenly across its ops so aggregate latency stays meaningful; there
+// is deliberately no batch-level health report — outcomes must count once.
+func (c *Client) finishBatch(addr string, ops []BatchOp, results []BatchResult, err error, answered int, reused bool, start time.Time) {
+	for i := answered; i < len(results); i++ {
+		if results[i].Err == nil {
+			if err != nil {
+				results[i].Err = err
+			} else {
+				results[i].Err = errors.New("ibp: batch aborted before this op")
+			}
+		}
+	}
+	elapsed := c.clock.Since(start)
+	perOp := elapsed / time.Duration(len(ops))
+	for i := range results {
+		if c.health != nil {
+			c.health.Report(addr, health.Classify(results[i].Err), perOp)
+		}
+		if c.obs != nil {
+			ev := obs.Event{
+				Time: start, Verb: ops[i].Verb, Depot: addr, Latency: perOp,
+				Outcome: health.Classify(results[i].Err).String(),
+				Reused:  reused, Batched: true,
+			}
+			if results[i].Err != nil {
+				ev.Err = results[i].Err.Error()
+			} else {
+				switch ops[i].Verb {
+				case OpStore:
+					ev.Bytes = int64(len(ops[i].Data))
+				case OpLoad:
+					ev.Bytes = ops[i].Length
+				}
+			}
+			c.obs.Record(ev)
+		}
+	}
+}
+
+// sequentialBatch runs the ops as ordinary single verbs, resolving
+// @-references from the results of earlier ALLOCATEs. Health and observer
+// reporting happen inside the individual calls.
+func (c *Client) sequentialBatch(addr string, ops []BatchOp) ([]BatchResult, error) {
+	results := make([]BatchResult, len(ops))
+	for i, op := range ops {
+		cp := op.Cap
+		if op.Verb != OpAllocate && op.Ref >= 0 {
+			ref := results[op.Ref]
+			if ref.Err != nil {
+				results[i].Err = fmt.Errorf("ibp: batch ref @%d failed: %w", op.Ref, ref.Err)
+				continue
+			}
+			switch op.Verb {
+			case OpStore:
+				cp = ref.Caps.Write
+			case OpLoad:
+				cp = ref.Caps.Read
+			default:
+				cp = ref.Caps.Manage
+			}
+		}
+		switch op.Verb {
+		case OpAllocate:
+			results[i].Caps, results[i].Err = c.Allocate(addr, op.MaxSize, op.Duration, op.Rel)
+		case OpStore:
+			results[i].NewLen, results[i].Err = c.Store(cp, op.Data)
+		case OpLoad:
+			results[i].Data, results[i].Err = c.Load(cp, op.Offset, op.Length)
+		case OpExtend:
+			results[i].Expires, results[i].Err = c.Extend(cp, op.Duration)
+		case OpProbe:
+			results[i].Info, results[i].Err = c.Probe(cp)
+		case OpDelete:
+			results[i].RefCnt, results[i].Err = c.Delete(cp)
+		}
+	}
+	return results, nil
+}
+
+// AllocateStore mints an allocation and stores payload into it in one
+// round trip (ALLOCATE + STORE @0 in a batch). On a depot that predates
+// BATCH the store sub-op's @-reference fails per-op; AllocateStore detects
+// that and completes the store sequentially with the minted capability, so
+// callers always get 1-RTT behaviour against new depots and correct
+// behaviour against old ones.
+//
+// When the allocate succeeds but the store fails, the CapSet is returned
+// alongside the error so the caller can Delete the orphaned allocation.
+func (c *Client) AllocateStore(addr string, maxSize int64, duration time.Duration, rel Reliability, payload []byte) (CapSet, error) {
+	res, err := c.Batch(addr, []BatchOp{
+		AllocateOp(maxSize, duration, rel),
+		StoreRefOp(0, payload),
+	})
+	if err != nil {
+		return CapSet{}, err
+	}
+	if res[0].Err != nil {
+		return CapSet{}, res[0].Err
+	}
+	set := res[0].Caps
+	if res[1].Err == nil {
+		return set, nil
+	}
+	// The allocation exists but the batched store failed. If the failure
+	// smells like an old depot rejecting the @-reference (it answers
+	// BAD_REQUEST for the unparseable token), retry the store as a plain
+	// verb against the real capability; otherwise surface the error with
+	// the caps for cleanup.
+	if wire.IsRemote(res[1].Err, wire.CodeBadRequest) && !c.batches.allowed(addr) {
+		if _, serr := c.Store(set.Write, payload); serr == nil {
+			return set, nil
+		} else {
+			return set, serr
+		}
+	}
+	return set, res[1].Err
+}

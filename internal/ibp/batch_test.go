@@ -1,0 +1,202 @@
+package ibp
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// oldDepotServer emulates a depot that predates the BATCH verb: it answers
+// ERR UNSUPPORTED to the header line and then executes the already-pipelined
+// sub-requests as ordinary single verbs — exactly what the real pre-BATCH
+// dispatch loop does with an unknown operation. ALLOCATE/STORE/LOAD are
+// implemented for real against an in-memory map so capability round trips
+// work.
+func oldDepotServer(t *testing.T, secret []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	addr := ln.Addr().String()
+	var mu sync.Mutex
+	allocs := make(map[string][]byte)
+	go func() {
+		for {
+			raw, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(raw net.Conn) {
+				defer raw.Close()
+				conn := wire.NewConn(raw)
+				for {
+					toks, err := conn.ReadLine()
+					if err != nil {
+						return
+					}
+					if len(toks) == 0 {
+						continue
+					}
+					var werr error
+					switch toks[0] {
+					case OpAllocate:
+						key, _ := NewKey()
+						mu.Lock()
+						allocs[key] = []byte{}
+						mu.Unlock()
+						set := MintSet(secret, addr, key)
+						werr = conn.WriteOK(set.Read.String(), set.Write.String(), set.Manage.String())
+					case OpStore:
+						n, perr := wire.ParseInt("len", toks[2])
+						if perr != nil {
+							return
+						}
+						data, rerr := conn.ReadBlob(n)
+						if rerr != nil {
+							return
+						}
+						cap, cerr := ParseToken(addr, toks[1])
+						if cerr != nil {
+							// This is the answer an old depot gives a "@0"
+							// batch reference: it is not a parseable token.
+							werr = conn.WriteErr(wire.CodeBadRequest, "malformed capability")
+							break
+						}
+						mu.Lock()
+						allocs[cap.Key] = append(allocs[cap.Key], data...)
+						total := int64(len(allocs[cap.Key]))
+						mu.Unlock()
+						werr = conn.WriteOK(wire.Itoa(n), wire.Itoa(total))
+					case OpLoad:
+						cap, cerr := ParseToken(addr, toks[1])
+						if cerr != nil {
+							werr = conn.WriteErr(wire.CodeBadRequest, "malformed capability")
+							break
+						}
+						off, _ := wire.ParseInt("off", toks[2])
+						n, _ := wire.ParseInt("len", toks[3])
+						mu.Lock()
+						data := allocs[cap.Key]
+						mu.Unlock()
+						if off+n > int64(len(data)) {
+							werr = conn.WriteErr(wire.CodeOutOfRange, "beyond written length")
+							break
+						}
+						if werr = conn.WriteOK(wire.Itoa(n)); werr == nil {
+							werr = conn.WriteBlob(data[off : off+n])
+						}
+					default:
+						// Unknown verb — including BATCH — is answered and
+						// skipped, leaving the pipelined stream to be handled
+						// as plain operations.
+						werr = conn.WriteErr(wire.CodeUnsupported, "unknown operation %s", toks[0])
+					}
+					if werr != nil {
+						return
+					}
+				}
+			}(raw)
+		}
+	}()
+	return addr
+}
+
+func TestBatchAgainstOldDepot(t *testing.T) {
+	secret := []byte("old-depot-secret")
+	addr := oldDepotServer(t, secret)
+	c := NewClient()
+	payload := []byte("survives the downgrade")
+
+	// AllocateStore leans on a batch-local reference the old depot cannot
+	// resolve; the helper must detect the rejection and finish the store
+	// sequentially with the real minted capability.
+	set, err := c.AllocateStore(addr, 1<<16, time.Hour, Hard, payload)
+	if err != nil {
+		t.Fatalf("AllocateStore against old depot: %v", err)
+	}
+	got, err := c.Load(set.Read, 0, int64(len(payload)))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("load after fallback store: %v", err)
+	}
+	// The rejection must be cached so the next ref-batch skips the wire
+	// attempt entirely and runs sequentially.
+	if c.batches.allowed(addr) {
+		t.Fatal("old depot not marked batch-unsupported")
+	}
+	set2, err := c.AllocateStore(addr, 1<<16, time.Hour, Hard, payload)
+	if err != nil {
+		t.Fatalf("second AllocateStore (sequential path): %v", err)
+	}
+	if got, err := c.Load(set2.Read, 0, int64(len(payload))); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("load after sequential store: %v", err)
+	}
+}
+
+func TestBatchWithoutRefsWorksOnOldDepot(t *testing.T) {
+	// A ref-free batch is pure pipelining: the old depot rejects only the
+	// header and still executes every sub-op, so results come back whole.
+	secret := []byte("old-depot-secret")
+	addr := oldDepotServer(t, secret)
+	c := NewClient()
+	res, err := c.Batch(addr, []BatchOp{
+		AllocateOp(1<<16, time.Hour, Hard),
+		AllocateOp(1<<16, time.Hour, Hard),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("op %d: %v", i, r.Err)
+		}
+		if r.Caps.Read.Type != CapRead {
+			t.Fatalf("op %d returned bad caps", i)
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	c := NewClient()
+	cases := []struct {
+		name string
+		ops  []BatchOp
+	}{
+		{"empty", nil},
+		{"forward ref", []BatchOp{
+			StoreRefOp(1, []byte("x")),
+			AllocateOp(10, time.Hour, Hard),
+		}},
+		{"ref to non-allocate", []BatchOp{
+			AllocateOp(10, time.Hour, Hard),
+			StoreRefOp(0, []byte("x")),
+			{Verb: OpLoad, Ref: 1, Length: 1},
+		}},
+		{"wrong cap type", []BatchOp{
+			{Verb: OpStore, Ref: -1, Cap: MintCap([]byte("s"), "a:1", "k", CapRead), Data: []byte("x")},
+		}},
+		{"unbatchable verb", []BatchOp{{Verb: OpCopy, Ref: -1}}},
+		{"bad reliability", []BatchOp{{Verb: OpAllocate, MaxSize: 10, Duration: time.Hour, Rel: "BEST_EFFORT", Ref: -1}}},
+	}
+	for _, tc := range cases {
+		if _, err := c.Batch("127.0.0.1:1", tc.ops); err == nil {
+			t.Errorf("%s: batch validation should fail", tc.name)
+		}
+	}
+}
+
+func TestParseBatchRef(t *testing.T) {
+	if i, ok := ParseBatchRef("@3"); !ok || i != 3 {
+		t.Fatalf("@3 -> %d, %v", i, ok)
+	}
+	for _, bad := range []string{"3", "@", "@-1", "@x", ""} {
+		if _, ok := ParseBatchRef(bad); ok {
+			t.Fatalf("ParseBatchRef(%q) should fail", bad)
+		}
+	}
+}

@@ -27,6 +27,7 @@ type Client struct {
 	obs         obs.Observer
 	span        obs.SpanContext // parent span for this client's operations
 	traces      *traceSupport   // per-depot TRACE support cache, shared across WithSpan copies
+	batches     *traceSupport   // per-depot BATCH support cache (same negotiate-once model)
 }
 
 // traceSupport remembers which depots rejected the TRACE verb, so a client
@@ -112,6 +113,7 @@ func NewClient(opts ...Option) *Client {
 		dialTimeout: 5 * time.Second,
 		opTimeout:   30 * time.Second,
 		traces:      &traceSupport{unsupported: make(map[string]bool)},
+		batches:     &traceSupport{unsupported: make(map[string]bool)},
 	}
 	for _, o := range opts {
 		o(c)
@@ -129,6 +131,11 @@ func (c *Client) dialFresh(addr string) (*wire.Conn, error) {
 	if err := netx.SetOpDeadline(raw, c.clock.Now(), c.opTimeout); err != nil {
 		raw.Close()
 		return nil, fmt.Errorf("ibp: set deadline: %w", err)
+	}
+	if c.pool != nil {
+		// The connection will be parked for reuse: pay for the large
+		// transfer buffers once and amortize them over many operations.
+		return wire.NewLongConn(raw), nil
 	}
 	return wire.NewConn(raw), nil
 }
@@ -405,6 +412,24 @@ func (c *Client) LoadCancel(r Cap, offset, length int64, cancel <-chan struct{})
 		return err
 	})
 	return buf, err
+}
+
+// LoadInto reads len(dst) bytes at offset into the caller-owned dst,
+// avoiding the per-call allocation of Load. The transfer and core layers
+// pass pooled buffers here.
+func (c *Client) LoadInto(dst []byte, r Cap, offset int64) error {
+	return c.LoadIntoCancel(dst, r, offset, nil)
+}
+
+// LoadIntoCancel is LoadInto with a cancellation channel (see LoadCancel).
+// dst is only valid once the call returns nil; a cancelled or failed call
+// may have written any prefix of it.
+func (c *Client) LoadIntoCancel(dst []byte, r Cap, offset int64, cancel <-chan struct{}) error {
+	// Reading into dst is idempotent — a retry on a stale pooled connection
+	// simply overwrites from the start — so the retry stays enabled.
+	return c.load(r, offset, int64(len(dst)), true, cancel, func(conn *wire.Conn, n int64) error {
+		return conn.ReadBlobInto(dst)
+	})
 }
 
 // LoadTo streams length bytes at offset into w, for downloads that should

@@ -20,7 +20,20 @@ const (
 	// the request line of the operation itself never changes, which is what
 	// keeps old peers interoperable.
 	OpTrace = "TRACE"
+	// OpBatch announces n pipelined sub-operations ("BATCH <n>") that follow
+	// on the same connection, each in the standard single-verb request
+	// format. A supporting depot acks "OK <n>" and may honour batch-local
+	// capability references ("@<i>"); an old depot answers ERR UNSUPPORTED
+	// and then — because sub-requests are byte-identical to single verbs —
+	// executes the pipelined stream as ordinary operations, so the client
+	// still collects every per-op response. Only @-references need the new
+	// depot.
+	OpBatch = "BATCH"
 )
+
+// MaxBatchOps bounds the sub-operations of one BATCH exchange on both
+// sides of the wire.
+const MaxBatchOps = 64
 
 // Reliability expresses how durable an allocation should be (paper §2.1
 // exposes service attributes of the underlying storage rather than hiding

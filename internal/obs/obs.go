@@ -34,6 +34,7 @@ type Event struct {
 	Err     string        // error text ("" on success)
 	Reused  bool          // served on a pooled connection
 	Retried bool          // retried on a fresh dial after a stale pooled conn
+	Batched bool          // sub-operation of a pipelined BATCH exchange
 
 	// Trace correlation (empty when the operation was not traced).
 	Trace  string    // trace ID shared across layers
