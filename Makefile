@@ -2,7 +2,7 @@
 # suite, then race-detector runs of the concurrency-heavy packages
 # (parallel transfers in core, connection pool + shared health scoreboard
 # in ibp, depot metric counters, lbone registry, the obs collector).
-.PHONY: tier1 build vet staticcheck test race bench bench-check stackmon-smoke slo-smoke
+.PHONY: tier1 build vet staticcheck test race bench bench-check stackmon-smoke slo-smoke registry-smoke
 
 tier1: build vet staticcheck test race
 
@@ -28,7 +28,7 @@ race:
 	go test -race repro/internal/core repro/internal/ibp repro/internal/health \
 		repro/internal/depot repro/internal/lbone repro/internal/obs \
 		repro/internal/transfer repro/internal/faultnet repro/internal/stackmon \
-		repro/internal/slo
+		repro/internal/slo repro/internal/registry
 
 # End-to-end transfer benchmarks → BENCH_upload_download.json
 # (ns/op and MB/s per bench; raw bench log stays on stderr), plus the
@@ -92,3 +92,13 @@ slo-smoke:
 	POSTMORTEM_DIR=$(CURDIR) go test -count=1 \
 		-run TestOutageFiresAlertAndCutsMatchingBundle ./internal/slo/
 	@echo "wrote SLO_alerts.json and POSTMORTEM_*.json"
+
+# Registry smoke: the quorum acceptance experiment — three registry
+# replicas on a scripted fault schedule. A minority kill mid-upload is
+# masked by the quorum; a majority kill is detected, fails fast within
+# the virtual-time budget, and cuts its postmortem bundle into
+# registry-smoke/ (→ POSTMORTEM_*.json) for CI to archive.
+registry-smoke:
+	REGISTRY_SMOKE_DIR=$(CURDIR)/registry-smoke go test -count=1 \
+		-run TestQuorumSurvivesMinorityKillDetectsMajorityKill ./internal/registry/
+	@echo "wrote registry-smoke/POSTMORTEM_*.json (registry majority-loss bundle)"

@@ -5,6 +5,14 @@
 // Usage:
 //
 //	lbone-server -listen :6767 -ttl 5m
+//
+// With -replicas the server joins a statically-configured replica group:
+// it installs the listed view (every member runs with the same -replicas,
+// -view-seq and -shards values) and additionally serves the quorum verbs
+// — view-stamped registration, depot queries and the sharded exNode
+// directory — alongside the classic single-registry protocol.
+//
+//	lbone-server -listen :6767 -replicas host1:6767,host2:6767,host3:6767
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"repro/internal/ibp"
 	"repro/internal/lbone"
 	"repro/internal/obs"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -28,14 +37,34 @@ func main() {
 		metricsAddr = flag.String("metrics-listen", "", "serve /metrics and /healthz over HTTP on this address (e.g. :9767; empty = off)")
 		pprofOn     = flag.Bool("pprof", false, "also serve /debug/pprof on the metrics listener")
 		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON (default: human-readable text)")
+		replicas    = flag.String("replicas", "", "comma-separated replica group membership (including this member); empty = classic single registry")
+		viewSeq     = flag.Int64("view-seq", 1, "view sequence number of the static -replicas membership")
+		shards      = flag.Int("shards", registry.DefaultShards, "exNode directory shard count (must match across the group)")
 	)
 	flag.Parse()
 
 	logger := obs.NewLogger(obs.LogConfig{JSON: *logJSON, Component: "lbone-server"})
-	s, err := lbone.ServeRegistry(*listen, lbone.ServerConfig{
-		TTL:    *ttl,
-		Logger: logger,
-	})
+	var s *lbone.Server
+	var err error
+	if *replicas != "" {
+		var rep *registry.Replica
+		s, rep, err = registry.Serve(*listen, registry.Config{
+			Members: lbone.SplitAddrs(*replicas),
+			Seq:     *viewSeq,
+			Shards:  *shards,
+			TTL:     *ttl,
+			Logger:  logger,
+		})
+		if err == nil {
+			v := rep.View()
+			logger.Info("replica group", "seq", v.Seq, "members", len(v.Members), "shards", v.Shards)
+		}
+	} else {
+		s, err = lbone.ServeRegistry(*listen, lbone.ServerConfig{
+			TTL:    *ttl,
+			Logger: logger,
+		})
+	}
 	if err != nil {
 		logger.Error("serve", "err", err)
 		os.Exit(1)

@@ -11,6 +11,8 @@
 //	xnd refresh -duration 240h file.xnd
 //	xnd augment -lbone host:6767 -near UCSD -o file2.xnd file.xnd
 //	xnd trim -expired -o file2.xnd file.xnd
+//	xnd dir put -lbone h1:6767,h2:6767,h3:6767 files/report file.xnd
+//	xnd dir get -lbone h1:6767,h2:6767,h3:6767 -o file.xnd files/report
 //	xnd status host:6714
 package main
 
@@ -35,6 +37,7 @@ import (
 	"repro/internal/lbone"
 	"repro/internal/nws"
 	"repro/internal/obs"
+	"repro/internal/registry"
 	"repro/internal/sealing"
 	"repro/internal/slo"
 	"repro/internal/transfer"
@@ -106,6 +109,8 @@ func main() {
 		err = cmdVerify(args)
 	case "maintain":
 		err = cmdMaintain(args)
+	case "dir":
+		err = cmdDir(args)
 	case "status":
 		err = cmdStatus(args)
 	case "health":
@@ -224,6 +229,7 @@ commands:
   route     move a file toward a new location (augment + trim)
   verify    audit every segment's availability and checksum
   maintain  refresh, trim dead segments, and repair lost redundancy
+  dir       publish/fetch/list exnodes in the replicated registry directory
   status    query a depot's capacity and limits
   health    probe depots and print the health scoreboard
   metrics   fetch a depot's operation counters (METRICS verb)
@@ -313,7 +319,18 @@ func (c *commonFlags) tools() (*core.Tools, error) {
 	}
 	lastTools = t
 	if *c.lbone != "" {
-		t.LBone = lbone.NewClient(*c.lbone)
+		if addrs := lbone.SplitAddrs(*c.lbone); len(addrs) > 1 {
+			// A comma-separated -lbone is a replica group: discovery and
+			// the exNode directory go through majority quorums, and every
+			// per-replica outcome feeds the registry-availability SLI.
+			qc := registry.NewQuorumClient(*c.lbone,
+				registry.WithTimeouts(5*time.Second, *c.timeout),
+				registry.WithObserver(slo.ObserveRegistry(sloEngine)))
+			t.LBone = qc
+			t.Directory = registry.NewDirectory(qc)
+		} else {
+			t.LBone = lbone.NewClient(*c.lbone)
+		}
 	}
 	switch {
 	case *c.nwsServer != "":
@@ -383,6 +400,72 @@ func writeExnode(path string, x *exnode.ExNode) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// cmdDir manipulates the replicated exNode directory: put publishes an
+// exnode file under a name, get fetches it back, ls lists names with
+// their current versions. It always speaks the quorum protocol, so
+// -lbone must point at lbone-server(s) started with -replicas (a single
+// address is a legal one-member group).
+func cmdDir(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: xnd dir put|get|ls [flags]")
+	}
+	sub, args := args[0], args[1:]
+	fs := flag.NewFlagSet("dir "+sub, flag.ExitOnError)
+	lboneAddr := fs.String("lbone", os.Getenv("XND_LBONE"), "replica group addresses, comma-separated (or $XND_LBONE)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-operation timeout")
+	prev := fs.Int64("prev", 0, "put: version being replaced (0 = new name; pass the version get printed)")
+	out := fs.String("o", "-", "get: output exnode path (- = stdout)")
+	fs.Parse(args)
+	if *lboneAddr == "" {
+		return fmt.Errorf("dir needs -lbone (or $XND_LBONE) pointing at a replica group")
+	}
+	qc := registry.NewQuorumClient(*lboneAddr,
+		registry.WithTimeouts(5*time.Second, *timeout),
+		registry.WithObserver(slo.ObserveRegistry(sloEngine)))
+	dir := registry.NewDirectory(qc)
+	switch sub {
+	case "put":
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: xnd dir put [-prev N] NAME FILE.xnd")
+		}
+		name := fs.Arg(0)
+		x, err := readExnode(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		version, err := dir.PutExNode(name, x, *prev)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s v%d\n", name, version)
+		return nil
+	case "get":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: xnd dir get [-o FILE] NAME")
+		}
+		x, version, err := dir.GetExNode(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s v%d\n", fs.Arg(0), version)
+		return writeExnode(*out, x)
+	case "ls":
+		if fs.NArg() != 0 {
+			return fmt.Errorf("usage: xnd dir ls")
+		}
+		entries, err := dir.ListExNodes()
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			fmt.Printf("v%-6d %s\n", e.Version, e.Name)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown dir subcommand %q (want put, get or ls)", sub)
+	}
 }
 
 func cmdUpload(args []string) error {

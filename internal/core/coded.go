@@ -83,7 +83,7 @@ func (t *Tools) uploadCodingGroup(name string, data []byte, blocks, parity [][]b
 		var err error
 		depots, err = t.LBone.Query(lbone.Requirements{MinDuration: opts.Duration, Near: &t.Loc})
 		if err != nil {
-			return nil, fmt.Errorf("core: depot discovery: %w", err)
+			return nil, discoveryErr("depot discovery", err)
 		}
 	}
 	if len(depots) == 0 {

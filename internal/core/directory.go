@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/exnode"
+	"repro/internal/registry"
+)
+
+// ExNodeDirectory abstracts the replicated exNode directory: the tools
+// store exNodes after uploads and resolve them by name for downloads.
+// *registry.Directory satisfies it over the quorum protocol.
+type ExNodeDirectory interface {
+	// PutExNode installs x under name at the version one past prev
+	// (prev=0 for a fresh name) and returns the installed version.
+	PutExNode(name string, x *exnode.ExNode, prev int64) (int64, error)
+	// GetExNode reads the freshest quorum copy of name.
+	GetExNode(name string) (*exnode.ExNode, int64, error)
+}
+
+// DiscoveryError wraps a depot-discovery or directory failure with its
+// freestore fault class (DESIGN §9). An unreachable or majority-lost
+// registry is *detected* — the client noticed the fault model's
+// assumption break and failed fast rather than proceeding on an empty
+// depot list; anything else is untolerated.
+type DiscoveryError struct {
+	Class registry.Class
+	Op    string
+	Err   error
+}
+
+// Error names the class so operators can grep postmortems by taxonomy.
+func (e *DiscoveryError) Error() string {
+	return fmt.Sprintf("core: %s (%s failure): %v", e.Op, e.Class, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As (including ErrMajorityLost
+// and lbone.ErrNoRegistry).
+func (e *DiscoveryError) Unwrap() error { return e.Err }
+
+// discoveryErr classifies err from a discovery path.
+func discoveryErr(op string, err error) error {
+	return &DiscoveryError{Class: registry.Classify(err), Op: op, Err: err}
+}
+
+// ErrNoDirectory reports a by-name operation on Tools with no directory
+// configured.
+var ErrNoDirectory = errors.New("core: no exNode directory configured")
+
+// StoreExNode publishes x into the replicated directory under name. prev
+// is the version a preceding Load returned (0 when first publishing).
+func (t *Tools) StoreExNode(name string, x *exnode.ExNode, prev int64) (int64, error) {
+	if t.Directory == nil {
+		return 0, ErrNoDirectory
+	}
+	version, err := t.Directory.PutExNode(name, x, prev)
+	if err != nil {
+		return 0, discoveryErr("exnode store", err)
+	}
+	return version, nil
+}
+
+// LoadExNode resolves name through the replicated directory.
+func (t *Tools) LoadExNode(name string) (*exnode.ExNode, int64, error) {
+	if t.Directory == nil {
+		return nil, 0, ErrNoDirectory
+	}
+	x, version, err := t.Directory.GetExNode(name)
+	if err != nil {
+		return nil, 0, discoveryErr("exnode load", err)
+	}
+	return x, version, nil
+}
+
+// DownloadByName resolves name through the directory and downloads the
+// whole file: the by-name path the paper's loose .xnd files could not
+// offer.
+func (t *Tools) DownloadByName(name string, opts DownloadOptions) ([]byte, *Report, error) {
+	x, _, err := t.LoadExNode(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t.Download(x, opts)
+}

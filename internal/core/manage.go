@@ -171,7 +171,7 @@ func (t *Tools) augmentThirdParty(x *exnode.ExNode, opts AugmentOptions) (*exnod
 		var err error
 		targets, err = t.LBone.Query(lbone.Requirements{MinDuration: duration, Near: near})
 		if err != nil {
-			return nil, fmt.Errorf("core: depot discovery: %w", err)
+			return nil, discoveryErr("depot discovery", err)
 		}
 	}
 	if len(targets) == 0 {

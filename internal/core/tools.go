@@ -90,6 +90,10 @@ type Tools struct {
 	// the same coding group collapse into one. Nil reproduces the plain
 	// sequential failover path.
 	Transfer *transfer.Engine
+	// Directory is the replicated exNode directory (internal/registry).
+	// When set, StoreExNode/LoadExNode/DownloadByName resolve exNodes by
+	// name through the quorum instead of loose client-side XML files.
+	Directory ExNodeDirectory
 }
 
 func (t *Tools) clock() vclock.Clock {

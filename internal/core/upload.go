@@ -102,7 +102,7 @@ func (t *Tools) Upload(name string, data []byte, opts UploadOptions) (*exnode.Ex
 			Near:        near,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: depot discovery: %w", err)
+			return nil, discoveryErr("depot discovery", err)
 		}
 	}
 	if len(depots) == 0 {

@@ -129,19 +129,27 @@ func (x *ExNode) Clone() *ExNode {
 	return &c
 }
 
-// Validate checks structural invariants: extents within the file, replica
-// mappings carrying read capabilities, coherent coding metadata.
+// Validate checks structural invariants: extents within the file with no
+// overlap inside a replica, replica mappings carrying read capabilities,
+// coherent coding metadata.
 func (x *ExNode) Validate() error {
 	if x.Size < 0 {
 		return fmt.Errorf("exnode %q: negative size", x.Name)
 	}
+	// Per-replica extent lists for the overlap check below.
+	replicaExtents := map[int][]Extent{}
 	for i, m := range x.Mappings {
 		if m.Length <= 0 {
 			return fmt.Errorf("exnode %q: mapping %d has non-positive length", x.Name, i)
 		}
-		if m.Offset < 0 || m.End() > x.Size {
-			return fmt.Errorf("exnode %q: mapping %d extent [%d,%d) outside file [0,%d)",
-				x.Name, i, m.Offset, m.End(), x.Size)
+		// Bounds check written overflow-safe: with Offset >= 0 and
+		// Length > 0 established, Offset > Size-Length is equivalent to
+		// Offset+Length > Size but cannot wrap, whereas m.End() on a
+		// huge Offset+Length goes negative and would sail past a
+		// direct End() > Size comparison.
+		if m.Offset < 0 || m.Offset > x.Size-m.Length {
+			return fmt.Errorf("exnode %q: mapping %d extent [%d,+%d) outside file [0,%d)",
+				x.Name, i, m.Offset, m.Length, x.Size)
 		}
 		if m.Read.IsZero() {
 			return fmt.Errorf("exnode %q: mapping %d has no read capability", x.Name, i)
@@ -156,6 +164,30 @@ func (x *ExNode) Validate() error {
 			}
 			if m.Group == "" {
 				return fmt.Errorf("exnode %q: mapping %d missing coding group", x.Name, i)
+			}
+		}
+		if m.IsReplica() {
+			replicaExtents[m.Replica] = append(replicaExtents[m.Replica],
+				Extent{Start: m.Offset, End: m.End()})
+		}
+	}
+	// Within one replica the mappings must partition their range:
+	// duplicate or overlapping extents mean two capabilities claim the
+	// same bytes, and a decoder would silently pick one. Distinct
+	// replicas covering the same range is the point of replication and
+	// stays legal.
+	for replica, exts := range replicaExtents {
+		sort.Slice(exts, func(i, j int) bool {
+			if exts[i].Start != exts[j].Start {
+				return exts[i].Start < exts[j].Start
+			}
+			return exts[i].End < exts[j].End
+		})
+		for i := 1; i < len(exts); i++ {
+			if exts[i].Start < exts[i-1].End {
+				return fmt.Errorf("exnode %q: replica %d extents [%d,%d) and [%d,%d) overlap",
+					x.Name, replica,
+					exts[i-1].Start, exts[i-1].End, exts[i].Start, exts[i].End)
 			}
 		}
 	}

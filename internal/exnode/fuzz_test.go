@@ -18,6 +18,24 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte("<exnode"))
 	f.Add([]byte(`<exnode version="1" name="x" size="-3"></exnode>`))
 	f.Add([]byte{})
+
+	// Inputs that previously parsed but violate extent invariants: a
+	// duplicated extent on one replica, an offset+length that wraps
+	// int64, and a negative offset. Marshal skips validation, so the bad
+	// bytes can be produced directly; Unmarshal must reject all three.
+	dup := New("dup", 100)
+	dup.Add(&Mapping{Offset: 0, Length: 100, Read: set.Read})
+	dup.Add(&Mapping{Offset: 0, Length: 100, Read: set.Read})
+	dupBlob, _ := Marshal(dup)
+	f.Add(dupBlob)
+	wrap := New("wrap", 100)
+	wrap.Add(&Mapping{Offset: 1<<63 - 10, Length: 100, Read: set.Read})
+	wrapBlob, _ := Marshal(wrap)
+	f.Add(wrapBlob)
+	neg := New("neg", 100)
+	neg.Add(&Mapping{Offset: -5, Length: 10, Read: set.Read})
+	negBlob, _ := Marshal(neg)
+	f.Add(negBlob)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Unmarshal(data)
 		if err != nil {

@@ -1,0 +1,99 @@
+package exnode
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ibp"
+)
+
+// Regression: Offset+Length near MaxInt64 wraps negative, so the old
+// `End() > Size` bounds check passed a mapping that claims bytes far
+// outside the file. The overflow-safe form must reject it.
+func TestValidateRejectsOverflowExtent(t *testing.T) {
+	cases := []struct{ off, length int64 }{
+		{math.MaxInt64 - 10, 100},              // End() wraps negative
+		{math.MaxInt64, 1},                     // degenerate wrap
+		{50, math.MaxInt64},                    // huge length
+		{math.MaxInt64 - 1, math.MaxInt64 - 1}, // both huge
+	}
+	for _, c := range cases {
+		x := New("overflow", 100)
+		x.Add(&Mapping{Offset: c.off, Length: c.length, Read: capFor(t, "a:1", ibp.CapRead)})
+		err := x.Validate()
+		if err == nil {
+			t.Fatalf("extent off=%d len=%d accepted (End wraps to %d)", c.off, c.length, c.off+c.length)
+		}
+		if !strings.Contains(err.Error(), "outside file") {
+			t.Fatalf("off=%d len=%d: err = %v, want extent-bounds error", c.off, c.length, err)
+		}
+	}
+}
+
+// Regression: two capabilities for the same byte range of the same replica
+// were accepted, leaving the decoder to silently pick one. Duplicates and
+// partial overlaps within a replica are now rejected; the same range on
+// *different* replicas is exactly what replication means and stays legal.
+func TestValidateRejectsSameReplicaOverlap(t *testing.T) {
+	dup := New("dup", 100)
+	dup.Add(mapping(t, "A", 0, 0, 100))
+	dup.Add(mapping(t, "B", 0, 0, 100)) // same replica, same range
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate extent on one replica accepted")
+	} else if !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("err = %v, want overlap error", err)
+	}
+
+	partial := New("partial", 100)
+	partial.Add(mapping(t, "A", 0, 0, 60))
+	partial.Add(mapping(t, "B", 0, 50, 50)) // [50,100) overlaps [0,60)
+	if err := partial.Validate(); err == nil {
+		t.Fatal("partially overlapping extents on one replica accepted")
+	}
+
+	contained := New("contained", 100)
+	contained.Add(mapping(t, "A", 0, 0, 100))
+	contained.Add(mapping(t, "B", 0, 20, 10)) // nested inside
+	if err := contained.Validate(); err == nil {
+		t.Fatal("nested extent on one replica accepted")
+	}
+
+	// Adjacency is not overlap; cross-replica coverage is legal.
+	ok := New("ok", 100)
+	ok.Add(mapping(t, "A", 0, 0, 50))
+	ok.Add(mapping(t, "B", 0, 50, 50))
+	ok.Add(mapping(t, "C", 1, 0, 100)) // replica 1 covers the same bytes
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("legal layout rejected: %v", err)
+	}
+}
+
+// The same defects must be caught on the XML decode path (Unmarshal runs
+// Validate; Marshal deliberately does not, so the bad bytes can be built).
+func TestUnmarshalRejectsOverlapAndOverflow(t *testing.T) {
+	bads := map[string]*ExNode{}
+
+	dup := New("dup", 100)
+	dup.Add(mapping(t, "A", 0, 0, 100))
+	dup.Add(mapping(t, "B", 0, 0, 100))
+	bads["duplicate extent"] = dup
+
+	over := New("over", 100)
+	over.Add(&Mapping{Offset: math.MaxInt64 - 10, Length: 100, Read: capFor(t, "a:1", ibp.CapRead)})
+	bads["overflowing extent"] = over
+
+	neg := New("neg", 100)
+	neg.Add(&Mapping{Offset: -5, Length: 10, Read: capFor(t, "a:1", ibp.CapRead)})
+	bads["negative offset"] = neg
+
+	for name, x := range bads {
+		blob, err := Marshal(x)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		if _, err := Unmarshal(blob); err == nil {
+			t.Fatalf("%s: XML decode accepted the exnode", name)
+		}
+	}
+}

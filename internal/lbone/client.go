@@ -1,7 +1,9 @@
 package lbone
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/netx"
@@ -9,10 +11,24 @@ import (
 	"repro/internal/wire"
 )
 
-// Client talks to an L-Bone server. Safe for concurrent use; each call
-// opens its own connection.
+// ErrNoRegistry reports that no configured L-Bone replica answered. It is
+// deliberately an error, not an empty depot list: a client that cannot
+// reach its registry has a *detected* failure (freestore taxonomy, DESIGN
+// §9) and must say so, never silently plan uploads onto zero depots.
+var ErrNoRegistry = errors.New("lbone: no registry replica reachable")
+
+// Client talks to an L-Bone server, or to several replicas of one.
+// Safe for concurrent use; each call opens its own connection.
+//
+// addr may be a comma-separated replica list ("h1:p,h2:p,h3:p"). Reads
+// fail over sequentially — first replica to answer wins. Writes
+// (Register/Heartbeat/Deregister) go to every replica and succeed when a
+// majority acks, so a freshly-revived replica catching up does not fail
+// the whole registration. For full view-stamped quorum semantics use
+// registry.QuorumClient; this client is the thin failover layer beneath
+// it.
 type Client struct {
-	addr        string
+	addrs       []string
 	dialer      netx.Dialer
 	clock       vclock.Clock
 	dialTimeout time.Duration
@@ -33,10 +49,11 @@ func WithTimeouts(dial, op time.Duration) ClientOption {
 	return func(c *Client) { c.dialTimeout, c.opTimeout = dial, op }
 }
 
-// NewClient builds a client for the L-Bone server at addr.
+// NewClient builds a client for the L-Bone server (or comma-separated
+// replica set) at addr.
 func NewClient(addr string, opts ...ClientOption) *Client {
 	c := &Client{
-		addr:        addr,
+		addrs:       SplitAddrs(addr),
 		dialer:      netx.System(),
 		clock:       vclock.Real(),
 		dialTimeout: 5 * time.Second,
@@ -48,10 +65,25 @@ func NewClient(addr string, opts ...ClientOption) *Client {
 	return c
 }
 
-func (c *Client) connect() (*wire.Conn, error) {
-	raw, err := c.dialer.Dial("tcp", c.addr, c.dialTimeout)
+// SplitAddrs parses a comma-separated replica list, dropping empty
+// entries.
+func SplitAddrs(addr string) []string {
+	var out []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Addrs returns the configured replica addresses.
+func (c *Client) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+func (c *Client) connect(addr string) (*wire.Conn, error) {
+	raw, err := c.dialer.Dial("tcp", addr, c.dialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("lbone: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("lbone: dial %s: %w", addr, err)
 	}
 	if err := netx.SetOpDeadline(raw, c.clock.Now(), c.opTimeout); err != nil {
 		raw.Close()
@@ -60,82 +92,130 @@ func (c *Client) connect() (*wire.Conn, error) {
 	return wire.NewConn(raw), nil
 }
 
+// eachUntil runs op against replicas in order until one succeeds (read
+// failover). When every replica fails — including the degenerate empty
+// address list — the joined error is returned, wrapped in ErrNoRegistry
+// when no replica could even be spoken to.
+func (c *Client) eachUntil(op func(conn *wire.Conn) error) error {
+	if len(c.addrs) == 0 {
+		return fmt.Errorf("%w: no addresses configured", ErrNoRegistry)
+	}
+	var errs []error
+	for _, addr := range c.addrs {
+		conn, err := c.connect(addr)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		err = op(conn)
+		conn.Close()
+		if err == nil {
+			return nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+	}
+	return fmt.Errorf("%w: %w", ErrNoRegistry, errors.Join(errs...))
+}
+
+// broadcastMajority runs op against every replica; it succeeds when a
+// strict majority acks.
+func (c *Client) broadcastMajority(op func(conn *wire.Conn) error) error {
+	if len(c.addrs) == 0 {
+		return fmt.Errorf("%w: no addresses configured", ErrNoRegistry)
+	}
+	need := len(c.addrs)/2 + 1
+	acks := 0
+	var errs []error
+	for _, addr := range c.addrs {
+		conn, err := c.connect(addr)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		err = op(conn)
+		conn.Close()
+		if err == nil {
+			acks++
+			continue
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+	}
+	if acks >= need {
+		return nil
+	}
+	return fmt.Errorf("%w: %d/%d acks: %w", ErrNoRegistry, acks, need, errors.Join(errs...))
+}
+
 // Register announces a depot to the L-Bone.
 func (c *Client) Register(d DepotInfo) error {
-	conn, err := c.connect()
-	if err != nil {
+	return c.broadcastMajority(func(conn *wire.Conn) error {
+		err := conn.WriteLine(append([]string{opRegister}, DepotTokens(d)...)...)
+		if err != nil {
+			return err
+		}
+		_, err = conn.ReadStatus()
 		return err
-	}
-	defer conn.Close()
-	err = conn.WriteLine(opRegister, d.Addr, d.Name, d.Site, d.Loc.String(),
-		wire.Itoa(d.Capacity), wire.Itoa(int64(d.MaxDuration.Seconds())))
-	if err != nil {
-		return err
-	}
-	_, err = conn.ReadStatus()
-	return err
+	})
 }
 
 // Heartbeat refreshes a depot's liveness window.
 func (c *Client) Heartbeat(addr string) error {
-	conn, err := c.connect()
-	if err != nil {
+	return c.broadcastMajority(func(conn *wire.Conn) error {
+		if err := conn.WriteLine(opHeartbeat, addr); err != nil {
+			return err
+		}
+		_, err := conn.ReadStatus()
 		return err
-	}
-	defer conn.Close()
-	if err := conn.WriteLine(opHeartbeat, addr); err != nil {
-		return err
-	}
-	_, err = conn.ReadStatus()
-	return err
+	})
 }
 
 // Deregister removes a depot from the registry.
 func (c *Client) Deregister(addr string) error {
-	conn, err := c.connect()
-	if err != nil {
+	return c.broadcastMajority(func(conn *wire.Conn) error {
+		if err := conn.WriteLine(opDeregister, addr); err != nil {
+			return err
+		}
+		_, err := conn.ReadStatus()
 		return err
-	}
-	defer conn.Close()
-	if err := conn.WriteLine(opDeregister, addr); err != nil {
-		return err
-	}
-	_, err = conn.ReadStatus()
-	return err
+	})
 }
 
 // Query returns depots matching req, proximity-ordered when req.Near is
-// set.
+// set. With replicas configured it serves from the first replica that
+// answers; an unreachable registry is an error, never an empty list.
 func (c *Client) Query(req Requirements) ([]DepotInfo, error) {
-	conn, err := c.connect()
+	var out []DepotInfo
+	err := c.eachUntil(func(conn *wire.Conn) error {
+		near := "-"
+		if req.Near != nil {
+			near = req.Near.String()
+		}
+		err := conn.WriteLine(opQuery,
+			wire.Itoa(req.MinCapacity),
+			wire.Itoa(int64(req.MinDuration.Seconds())),
+			near,
+			wire.Itoa(int64(req.Max)))
+		if err != nil {
+			return err
+		}
+		toks, err := conn.ReadStatus()
+		if err != nil {
+			return err
+		}
+		if len(toks) != 1 {
+			return errShortResponse
+		}
+		n, err := wire.ParseInt("count", toks[0])
+		if err != nil {
+			return err
+		}
+		out, err = readDepotLines(conn, n)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
-	near := "-"
-	if req.Near != nil {
-		near = req.Near.String()
-	}
-	err = conn.WriteLine(opQuery,
-		wire.Itoa(req.MinCapacity),
-		wire.Itoa(int64(req.MinDuration.Seconds())),
-		near,
-		wire.Itoa(int64(req.Max)))
-	if err != nil {
-		return nil, err
-	}
-	toks, err := conn.ReadStatus()
-	if err != nil {
-		return nil, err
-	}
-	if len(toks) != 1 {
-		return nil, errShortResponse
-	}
-	n, err := wire.ParseInt("count", toks[0])
-	if err != nil {
-		return nil, err
-	}
-	return readDepotLines(conn, n)
+	return out, nil
 }
 
 // List returns every live depot.

@@ -36,6 +36,9 @@ func (s *Server) PromMetrics() []obs.Metric {
 
 	gauge("lbone_depots_registered", "Registered depots (live or not).", float64(total))
 	gauge("lbone_depots_live", "Depots inside their liveness window.", float64(live))
+	if s.cfg.ExtraMetrics != nil {
+		ms = append(ms, s.cfg.ExtraMetrics()...)
+	}
 	return ms
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/vclock"
 )
 
 // DepotInfo is one registry entry.
@@ -40,25 +41,71 @@ type Requirements struct {
 
 // Registry is the in-memory depot table shared by the server and by
 // in-process uses (the experiment harness embeds one directly).
+//
+// Every liveness decision — stamping LastSeen on registration and
+// heartbeat, expiring entries out of query results — goes through the one
+// injected clock. No path may consult time.Now directly: a registry run
+// under a virtual clock (experiments, faultnet scenarios) must expire
+// depots on virtual time only, never because wall time passed.
 type Registry struct {
 	ttl     time.Duration
-	now     func() time.Time
+	clock   vclock.Clock
 	entries map[string]DepotInfo
 }
 
 // NewRegistry creates a registry. Depots that have not re-registered or
 // heartbeated within ttl are dropped from query results; ttl <= 0 disables
-// liveness expiry. now supplies the registry's clock.
+// liveness expiry. now supplies the registry's clock; nil uses
+// vclock.Real().
 func NewRegistry(ttl time.Duration, now func() time.Time) *Registry {
-	if now == nil {
-		now = time.Now
+	var clock vclock.Clock
+	if now != nil {
+		clock = funcClock(now)
 	}
-	return &Registry{ttl: ttl, now: now, entries: make(map[string]DepotInfo)}
+	return NewRegistryClock(ttl, clock)
 }
+
+// NewRegistryClock is NewRegistry with a full vclock.Clock, so callers that
+// already hold one (the server, the replicated registry) share it without
+// the func adapter.
+func NewRegistryClock(ttl time.Duration, clock vclock.Clock) *Registry {
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	return &Registry{ttl: ttl, clock: clock, entries: make(map[string]DepotInfo)}
+}
+
+// funcClock adapts a bare now-function to the Clock slice the registry
+// consumes (Now only; the registry never sleeps).
+type funcClock func() time.Time
+
+func (f funcClock) Now() time.Time                         { return f() }
+func (f funcClock) Since(t time.Time) time.Duration        { return f().Sub(t) }
+func (f funcClock) Sleep(d time.Duration)                  { vclock.Real().Sleep(d) }
+func (f funcClock) After(d time.Duration) <-chan time.Time { return vclock.Real().After(d) }
+
+// Clock exposes the registry's clock so components layered on the same
+// table (pollers, replicas) share one time source instead of defaulting to
+// wall clock beside a virtual registry.
+func (r *Registry) Clock() vclock.Clock { return r.clock }
 
 // Register inserts or refreshes a depot entry.
 func (r *Registry) Register(d DepotInfo) {
-	d.LastSeen = r.now()
+	d.LastSeen = r.clock.Now()
+	r.entries[d.Addr] = d
+}
+
+// Restore inserts an entry preserving its LastSeen stamp — the merge
+// primitive for replicated registries, where the authoritative liveness
+// stamp came from a peer replica, not from this process observing the
+// depot. A zero LastSeen is stamped now, as Register would.
+func (r *Registry) Restore(d DepotInfo) {
+	if d.LastSeen.IsZero() {
+		d.LastSeen = r.clock.Now()
+	}
+	if cur, ok := r.entries[d.Addr]; ok && cur.LastSeen.After(d.LastSeen) {
+		return // never roll liveness backwards
+	}
 	r.entries[d.Addr] = d
 }
 
@@ -69,7 +116,7 @@ func (r *Registry) Heartbeat(addr string) bool {
 	if !ok {
 		return false
 	}
-	d.LastSeen = r.now()
+	d.LastSeen = r.clock.Now()
 	r.entries[addr] = d
 	return true
 }
@@ -79,7 +126,7 @@ func (r *Registry) Deregister(addr string) { delete(r.entries, addr) }
 
 // alive reports whether the entry is within its liveness window.
 func (r *Registry) alive(d DepotInfo) bool {
-	return r.ttl <= 0 || r.now().Sub(d.LastSeen) <= r.ttl
+	return r.ttl <= 0 || r.clock.Now().Sub(d.LastSeen) <= r.ttl
 }
 
 // Query returns live depots matching req, ordered by proximity when

@@ -36,6 +36,15 @@ type ServerConfig struct {
 	// Logger receives per-connection errors as structured records
 	// (default: discard).
 	Logger *slog.Logger
+	// Extension, when set, is offered every verb the core dispatch does
+	// not know. It returns (true, err) when it handled the verb (err is
+	// the connection-fatal write error, as for core handlers) and
+	// (false, nil) to fall through to the bad-request path. The
+	// replicated registry mounts its V*/D* quorum verbs here.
+	Extension func(conn *wire.Conn, op string, args []string) (bool, error)
+	// ExtraMetrics, when set, is appended to PromMetrics — how a mounted
+	// extension exports its own registry_* samples on the same scrape.
+	ExtraMetrics func() []obs.Metric
 }
 
 // ServerStats counts registry traffic — the L-Bone side of the
@@ -94,7 +103,7 @@ func ServeRegistry(addr string, cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("lbone: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		reg:      NewRegistry(cfg.TTL, cfg.Clock.Now),
+		reg:      NewRegistryClock(cfg.TTL, cfg.Clock),
 		ln:       ln,
 		cfg:      cfg,
 		shutdown: make(chan struct{}),
@@ -106,6 +115,15 @@ func ServeRegistry(addr string, cfg ServerConfig) (*Server, error) {
 
 // Addr returns the listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// WithRegistry runs f with the server's depot table under the server
+// lock. Extensions (the quorum replica) use it to read and merge entries
+// without racing the wire handlers.
+func (s *Server) WithRegistry(f func(*Registry)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(s.reg)
+}
 
 // StartPoller launches a capacity poller over this server's registry,
 // sharing the server's lock. Stop it before (or after) closing the server.
@@ -204,6 +222,13 @@ func (s *Server) dispatch(conn *wire.Conn, op string, args []string) bool {
 	case opQuit:
 		return false
 	default:
+		if s.cfg.Extension != nil {
+			handled, exterr := s.cfg.Extension(conn, op, args)
+			if handled {
+				err = exterr
+				break
+			}
+		}
 		s.stats.BadRequests.Add(1)
 		err = conn.WriteErr(wire.CodeUnsupported, "unknown operation %s", op)
 	}
@@ -306,13 +331,47 @@ func (s *Server) handleQuery(conn *wire.Conn, args []string) error {
 		return err
 	}
 	for _, d := range res {
-		err := conn.WriteLine("DEPOT", d.Addr, d.Name, d.Site, d.Loc.String(),
-			wire.Itoa(d.Capacity), wire.Itoa(int64(d.MaxDuration.Seconds())))
-		if err != nil {
+		if err := conn.WriteLine(append([]string{"DEPOT"}, DepotTokens(d)...)...); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// DepotTokens renders d as the wire tokens of a DEPOT line (without the
+// leading "DEPOT" tag): addr name site loc capacity maxDurSec. Shared by
+// the core QUERY response and the replicated registry's VQUERY (which
+// appends a liveness stamp after these).
+func DepotTokens(d DepotInfo) []string {
+	return []string{d.Addr, d.Name, d.Site, d.Loc.String(),
+		wire.Itoa(d.Capacity), wire.Itoa(int64(d.MaxDuration.Seconds()))}
+}
+
+// ParseDepotTokens is the inverse of DepotTokens.
+func ParseDepotTokens(toks []string) (DepotInfo, error) {
+	if len(toks) != 6 {
+		return DepotInfo{}, fmt.Errorf("lbone: depot record wants 6 tokens, got %d", len(toks))
+	}
+	loc, err := geo.ParsePoint(toks[3])
+	if err != nil {
+		return DepotInfo{}, err
+	}
+	capacity, err := wire.ParseInt("capacity", toks[4])
+	if err != nil {
+		return DepotInfo{}, err
+	}
+	durSec, err := wire.ParseInt("maxduration", toks[5])
+	if err != nil {
+		return DepotInfo{}, err
+	}
+	return DepotInfo{
+		Addr:        toks[0],
+		Name:        toks[1],
+		Site:        toks[2],
+		Loc:         loc,
+		Capacity:    capacity,
+		MaxDuration: time.Duration(durSec) * time.Second,
+	}, nil
 }
 
 // readDepotLines parses the n DEPOT lines of a query response; shared with
@@ -327,26 +386,11 @@ func readDepotLines(conn *wire.Conn, n int64) ([]DepotInfo, error) {
 		if len(toks) != 7 || toks[0] != "DEPOT" {
 			return nil, fmt.Errorf("lbone: malformed depot line %v", toks)
 		}
-		loc, err := geo.ParsePoint(toks[4])
+		d, err := ParseDepotTokens(toks[1:])
 		if err != nil {
 			return nil, err
 		}
-		capacity, err := wire.ParseInt("capacity", toks[5])
-		if err != nil {
-			return nil, err
-		}
-		durSec, err := wire.ParseInt("maxduration", toks[6])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, DepotInfo{
-			Addr:        toks[1],
-			Name:        toks[2],
-			Site:        toks[3],
-			Loc:         loc,
-			Capacity:    capacity,
-			MaxDuration: time.Duration(durSec) * time.Second,
-		})
+		out = append(out, d)
 	}
 	return out, nil
 }

@@ -1,0 +1,632 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lbone"
+	"repro/internal/netx"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// ErrNotFound reports a directory name with no entry on any answering
+// replica.
+var ErrNotFound = errors.New("registry: exnode not found")
+
+// ClientStats counts quorum-client outcomes for registry_client_*
+// metrics and the SLO feed.
+type ClientStats struct {
+	Ops          atomic.Int64 // quorum operations attempted
+	ReplicaFails atomic.Int64 // per-replica attempts that failed (tolerated when quorum held)
+	Failovers    atomic.Int64 // ops that succeeded despite >=1 replica failure
+	StaleRetries atomic.Int64 // ops retried after a STALE_VIEW refresh
+	MajorityLost atomic.Int64 // ops failed fast with ErrMajorityLost
+	Repairs      atomic.Int64 // read-repair writes pushed to lagging replicas
+}
+
+// QuorumClient drives majority-quorum operations against a replicated
+// registry view. Safe for concurrent use; each replica exchange opens
+// its own connection.
+//
+// Writes go to every member and need a strict majority of acks; reads
+// need a strict majority of answers and merge the freshest. A STALE_VIEW
+// rejection refreshes the cached view (highest sequence any reachable
+// replica reports) and retries the operation once. Fewer than a majority
+// of answers is ErrMajorityLost — a *detected* failure (DESIGN §9): the
+// client fails fast rather than serving a minority's possibly-stale
+// world view.
+type QuorumClient struct {
+	seeds       []string
+	dialer      netx.Dialer
+	clock       vclock.Clock
+	dialTimeout time.Duration
+	opTimeout   time.Duration
+	// observer, when set, receives every per-replica attempt outcome
+	// (the replica-health SLI feed).
+	observer func(replica string, ok bool)
+
+	mu       sync.Mutex
+	view     View
+	haveView bool
+
+	stats ClientStats
+}
+
+// QuorumOption configures a QuorumClient.
+type QuorumOption func(*QuorumClient)
+
+// WithDialer sets the dialer (default: system network).
+func WithDialer(d netx.Dialer) QuorumOption { return func(c *QuorumClient) { c.dialer = d } }
+
+// WithClock sets the deadline/stamp clock (default: real time).
+func WithClock(ck vclock.Clock) QuorumOption { return func(c *QuorumClient) { c.clock = ck } }
+
+// WithTimeouts sets dial and per-operation timeouts. These bound the
+// fail-fast budget: a majority-loss verdict takes at most one dial
+// timeout per unreachable member per pass.
+func WithTimeouts(dial, op time.Duration) QuorumOption {
+	return func(c *QuorumClient) { c.dialTimeout, c.opTimeout = dial, op }
+}
+
+// WithObserver installs a per-replica outcome hook (the
+// slo.RegistryAvailability feed).
+func WithObserver(f func(replica string, ok bool)) QuorumOption {
+	return func(c *QuorumClient) { c.observer = f }
+}
+
+// NewQuorumClient builds a client bootstrapped from a comma-separated
+// replica address list (any reachable member serves the view).
+func NewQuorumClient(addrs string, opts ...QuorumOption) *QuorumClient {
+	c := &QuorumClient{
+		seeds:       lbone.SplitAddrs(addrs),
+		dialer:      netx.System(),
+		clock:       vclock.Real(),
+		dialTimeout: 5 * time.Second,
+		opTimeout:   15 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Stats exposes the live counters.
+func (c *QuorumClient) Stats() *ClientStats { return &c.stats }
+
+func (c *QuorumClient) observe(replica string, ok bool) {
+	if c.observer != nil {
+		c.observer(replica, ok)
+	}
+}
+
+func (c *QuorumClient) connect(addr string) (*wire.Conn, error) {
+	raw, err := c.dialer.Dial("tcp", addr, c.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("registry: dial %s: %w", addr, err)
+	}
+	if err := netx.SetOpDeadline(raw, c.clock.Now(), c.opTimeout); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return wire.NewConn(raw), nil
+}
+
+// fetchView asks one replica for its installed view.
+func (c *QuorumClient) fetchView(addr string) (View, error) {
+	conn, err := c.connect(addr)
+	if err != nil {
+		return View{}, err
+	}
+	defer conn.Close()
+	if err := conn.WriteLine(opView); err != nil {
+		return View{}, err
+	}
+	toks, err := conn.ReadStatus()
+	if err != nil {
+		return View{}, err
+	}
+	if len(toks) != 3 {
+		return View{}, fmt.Errorf("registry: malformed VIEW response %v", toks)
+	}
+	seq, err := wire.ParseInt("seq", toks[0])
+	if err != nil {
+		return View{}, err
+	}
+	shards, err := wire.ParseInt("shards", toks[1])
+	if err != nil {
+		return View{}, err
+	}
+	n, err := wire.ParseInt("members", toks[2])
+	if err != nil {
+		return View{}, err
+	}
+	v := View{Seq: seq, Shards: int(shards)}
+	for i := int64(0); i < n; i++ {
+		line, err := conn.ReadLine()
+		if err != nil {
+			return View{}, err
+		}
+		if len(line) != 2 || line[0] != "MEMBER" {
+			return View{}, fmt.Errorf("registry: malformed member line %v", line)
+		}
+		v.Members = append(v.Members, line[1])
+	}
+	if err := v.Validate(); err != nil {
+		return View{}, err
+	}
+	return v, nil
+}
+
+// RefreshView polls the seed addresses and any cached members and
+// installs the highest-sequence view reachable. It is called lazily on
+// first use and after STALE_VIEW rejections.
+func (c *QuorumClient) RefreshView() (View, error) {
+	c.mu.Lock()
+	candidates := append([]string(nil), c.seeds...)
+	if c.haveView {
+		candidates = append(candidates, c.view.Members...)
+	}
+	c.mu.Unlock()
+	candidates = NormalizeMembers(candidates)
+	if len(candidates) == 0 {
+		return View{}, fmt.Errorf("%w: no replica addresses configured", lbone.ErrNoRegistry)
+	}
+
+	var best View
+	var got bool
+	var errs []error
+	for _, addr := range candidates {
+		v, err := c.fetchView(addr)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if !got || v.Seq > best.Seq {
+			best, got = v, true
+		}
+	}
+	if !got {
+		return View{}, fmt.Errorf("%w: view fetch: %w", lbone.ErrNoRegistry, errors.Join(errs...))
+	}
+	c.mu.Lock()
+	if !c.haveView || best.Seq >= c.view.Seq {
+		c.view, c.haveView = best, true
+	}
+	best = c.view
+	c.mu.Unlock()
+	return best, nil
+}
+
+// currentView returns the cached view, fetching it on first use.
+func (c *QuorumClient) currentView() (View, error) {
+	c.mu.Lock()
+	if c.haveView {
+		v := c.view
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+	return c.RefreshView()
+}
+
+// replicaOp is one exchange against one member. It returns staleView
+// when the member rejected our view stamp.
+type replicaOp func(conn *wire.Conn, viewSeq int64, addr string) error
+
+// quorumPass runs op against every member once and reports acks, whether
+// any member answered STALE_VIEW, and the per-replica errors.
+func (c *QuorumClient) quorumPass(v View, op replicaOp) (acks int, stale bool, errs []error) {
+	for _, addr := range v.Members {
+		conn, err := c.connect(addr)
+		if err == nil {
+			err = op(conn, v.Seq, addr)
+			conn.Close()
+		}
+		if err == nil {
+			c.observe(addr, true)
+			acks++
+			continue
+		}
+		if wire.IsRemote(err, wire.CodeStaleView) {
+			stale = true
+		}
+		// A replica that answered — even with an application error —
+		// is up; only transport-level failures mark it unavailable.
+		c.observe(addr, wire.IsRemoteAny(err))
+		c.stats.ReplicaFails.Add(1)
+		errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+	}
+	return acks, stale, errs
+}
+
+// quorum drives op to a majority verdict: one pass, a view refresh and
+// second pass if any member reported STALE_VIEW, then classification.
+// Minority failures along a successful op are tolerated (counted, never
+// surfaced); missing the majority is ErrMajorityLost.
+func (c *QuorumClient) quorum(opName string, op replicaOp) error {
+	c.stats.Ops.Add(1)
+	v, err := c.currentView()
+	if err != nil {
+		c.stats.MajorityLost.Add(1)
+		return fmt.Errorf("registry: %s: %w", opName, err)
+	}
+	acks, stale, errs := c.quorumPass(v, op)
+	if acks < v.Quorum() && stale {
+		c.stats.StaleRetries.Add(1)
+		if v, err = c.RefreshView(); err != nil {
+			c.stats.MajorityLost.Add(1)
+			return fmt.Errorf("registry: %s: %w", opName, err)
+		}
+		acks, stale, errs = c.quorumPass(v, op)
+		if acks < v.Quorum() && stale {
+			return fmt.Errorf("registry: %s: %w: %w", opName, ErrStaleView, errors.Join(errs...))
+		}
+	}
+	if acks >= v.Quorum() {
+		if len(errs) > 0 {
+			c.stats.Failovers.Add(1)
+		}
+		return nil
+	}
+	c.stats.MajorityLost.Add(1)
+	return fmt.Errorf("registry: %s: %d/%d acks: %w: %w",
+		opName, acks, v.Quorum(), ErrMajorityLost, errors.Join(errs...))
+}
+
+// ---- replicated depot registry ----
+
+// RegisterDepot announces a depot through the quorum, stamping liveness
+// with the client's clock so all replicas install the same LastSeen.
+func (c *QuorumClient) RegisterDepot(d lbone.DepotInfo) error {
+	stamp := wire.Itoa(c.clock.Now().UnixNano())
+	return c.quorum("register", func(conn *wire.Conn, seq int64, _ string) error {
+		toks := append([]string{opVRegister, wire.Itoa(seq)}, lbone.DepotTokens(d)...)
+		toks = append(toks, stamp)
+		if err := conn.WriteLine(toks...); err != nil {
+			return err
+		}
+		_, err := conn.ReadStatus()
+		return err
+	})
+}
+
+// HeartbeatDepot refreshes a depot's liveness through the quorum.
+func (c *QuorumClient) HeartbeatDepot(addr string) error {
+	return c.quorum("heartbeat", func(conn *wire.Conn, seq int64, _ string) error {
+		if err := conn.WriteLine(opVHeartbeat, wire.Itoa(seq), addr); err != nil {
+			return err
+		}
+		_, err := conn.ReadStatus()
+		return err
+	})
+}
+
+// DeregisterDepot removes a depot through the quorum.
+func (c *QuorumClient) DeregisterDepot(addr string) error {
+	return c.quorum("deregister", func(conn *wire.Conn, seq int64, _ string) error {
+		if err := conn.WriteLine(opVDeregister, wire.Itoa(seq), addr); err != nil {
+			return err
+		}
+		_, err := conn.ReadStatus()
+		return err
+	})
+}
+
+// Query implements core.DepotSource: a quorum read of the depot table.
+// Each answering replica returns its live view; the merge keeps the
+// freshest record per depot address, then re-applies the requirements so
+// ordering and Max are computed over the merged set.
+func (c *QuorumClient) Query(req lbone.Requirements) ([]lbone.DepotInfo, error) {
+	merged := lbone.NewRegistryClock(0, c.clock)
+	var mu sync.Mutex
+	perReplica := req
+	perReplica.Max = 0 // Max applies after the merge, not per replica
+	err := c.quorum("query", func(conn *wire.Conn, seq int64, _ string) error {
+		depots, err := c.queryReplica(conn, seq, perReplica)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		for _, d := range depots {
+			merged.Restore(d)
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return merged.Query(req), nil
+}
+
+// queryReplica runs one VQUERY exchange.
+func (c *QuorumClient) queryReplica(conn *wire.Conn, seq int64, req lbone.Requirements) ([]lbone.DepotInfo, error) {
+	near := "-"
+	if req.Near != nil {
+		near = req.Near.String()
+	}
+	err := conn.WriteLine(opVQuery, wire.Itoa(seq),
+		wire.Itoa(req.MinCapacity),
+		wire.Itoa(int64(req.MinDuration.Seconds())),
+		near,
+		wire.Itoa(int64(req.Max)))
+	if err != nil {
+		return nil, err
+	}
+	toks, err := conn.ReadStatus()
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) != 1 {
+		return nil, fmt.Errorf("registry: malformed VQUERY status %v", toks)
+	}
+	n, err := wire.ParseInt("count", toks[0])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]lbone.DepotInfo, 0, n)
+	for i := int64(0); i < n; i++ {
+		line, err := conn.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		if len(line) != 8 || line[0] != "RDEPOT" {
+			return nil, fmt.Errorf("registry: malformed depot line %v", line)
+		}
+		d, err := lbone.ParseDepotTokens(line[1:7])
+		if err != nil {
+			return nil, err
+		}
+		nanos, err := wire.ParseInt("lastseen", line[7])
+		if err != nil {
+			return nil, err
+		}
+		d.LastSeen = time.Unix(0, nanos)
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// ---- sharded exNode directory ----
+
+// dirRead is one replica's answer to a DGET: found or not, and at what
+// version.
+type dirRead struct {
+	addr    string
+	found   bool
+	version int64
+	blob    []byte
+}
+
+// GetExNode reads the freshest version of name from a majority. Replicas
+// holding an older (or no) version are repaired best-effort with the
+// winning blob, so a replica that missed a write while down converges
+// once reads touch the name again.
+func (c *QuorumClient) GetExNode(name string) ([]byte, int64, error) {
+	v, err := c.currentView()
+	if err != nil {
+		c.stats.MajorityLost.Add(1)
+		return nil, 0, fmt.Errorf("registry: get: %w", err)
+	}
+	shard := ShardFor(name, v.Shards)
+	var mu sync.Mutex
+	var reads []dirRead
+	err = c.quorum("get", func(conn *wire.Conn, seq int64, addr string) error {
+		r, err := c.getReplica(conn, seq, shard, name)
+		if err != nil {
+			return err
+		}
+		r.addr = addr
+		mu.Lock()
+		reads = append(reads, r)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var best dirRead
+	for _, r := range reads {
+		if r.found && (!best.found || r.version > best.version) {
+			best = r
+		}
+	}
+	if !best.found {
+		return nil, 0, fmt.Errorf("registry: get %s: %w", name, ErrNotFound)
+	}
+	// Read repair: push the winner to replicas that answered with less.
+	for _, r := range reads {
+		if r.found && r.version >= best.version {
+			continue
+		}
+		if c.repairReplica(r.addr, v.Seq, shard, name, best.version, best.blob) {
+			c.stats.Repairs.Add(1)
+		}
+	}
+	return best.blob, best.version, nil
+}
+
+// getReplica runs one DGET exchange; NOT_FOUND is an answer, not an
+// error — the replica is alive and counted toward the read quorum.
+func (c *QuorumClient) getReplica(conn *wire.Conn, seq int64, shard int, name string) (dirRead, error) {
+	err := conn.WriteLine(opDirGet, wire.Itoa(seq), wire.Itoa(int64(shard)), wire.Quote(name))
+	if err != nil {
+		return dirRead{}, err
+	}
+	toks, err := conn.ReadStatus()
+	if wire.IsRemote(err, wire.CodeNotFound) {
+		return dirRead{found: false}, nil
+	}
+	if err != nil {
+		return dirRead{}, err
+	}
+	if len(toks) != 2 {
+		return dirRead{}, fmt.Errorf("registry: malformed DGET status %v", toks)
+	}
+	version, err := wire.ParseInt("version", toks[0])
+	if err != nil {
+		return dirRead{}, err
+	}
+	n, err := wire.ParseInt("len", toks[1])
+	if err != nil {
+		return dirRead{}, err
+	}
+	blob, err := conn.ReadBlob(n)
+	if err != nil {
+		return dirRead{}, err
+	}
+	return dirRead{found: true, version: version, blob: blob}, nil
+}
+
+// repairReplica best-effort installs (version, blob) on one lagging
+// replica; failures are ignored (the replica is repaired on a later read
+// or write instead).
+func (c *QuorumClient) repairReplica(addr string, seq int64, shard int, name string, version int64, blob []byte) bool {
+	conn, err := c.connect(addr)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	err = c.putReplica(conn, seq, shard, name, version, blob)
+	return err == nil
+}
+
+// putReplica runs one DPUT exchange.
+func (c *QuorumClient) putReplica(conn *wire.Conn, seq int64, shard int, name string, version int64, blob []byte) error {
+	err := conn.WriteLine(opDirPut, wire.Itoa(seq), wire.Itoa(int64(shard)),
+		wire.Quote(name), wire.Itoa(version), wire.Itoa(int64(len(blob))))
+	if err != nil {
+		return err
+	}
+	if err := conn.WriteBlob(blob); err != nil {
+		return err
+	}
+	_, err = conn.ReadStatus()
+	return err
+}
+
+// PutExNode installs blob under name at version. version must be exactly
+// one past the version a preceding read returned (0 for a fresh name);
+// losing the optimistic-concurrency race is ErrVersionConflict — re-read
+// and retry. Concurrency between two writers resolves last-writer-wins
+// at the version level, which is the paper's exNode semantics: the
+// directory stores whole-exNode snapshots, not merged deltas.
+func (c *QuorumClient) PutExNode(name string, version int64, blob []byte) error {
+	if version <= 0 {
+		return fmt.Errorf("registry: put %s: version %d must be positive", name, version)
+	}
+	v, err := c.currentView()
+	if err != nil {
+		c.stats.MajorityLost.Add(1)
+		return fmt.Errorf("registry: put: %w", err)
+	}
+	shard := ShardFor(name, v.Shards)
+	var conflict atomic.Bool
+	err = c.quorum("put", func(conn *wire.Conn, seq int64, _ string) error {
+		err := c.putReplica(conn, seq, shard, name, version, blob)
+		if wire.IsRemote(err, wire.CodeConflict) {
+			conflict.Store(true)
+		}
+		return err
+	})
+	if err != nil {
+		if conflict.Load() {
+			return fmt.Errorf("registry: put %s v%d: %w", name, version, ErrVersionConflict)
+		}
+		return err
+	}
+	return nil
+}
+
+// DirEntry is one name in a directory listing.
+type DirEntry struct {
+	Name    string
+	Version int64
+}
+
+// ListExNodes returns the union of directory entries across all shards,
+// each read from a majority, freshest version per name.
+func (c *QuorumClient) ListExNodes() ([]DirEntry, error) {
+	v, err := c.currentView()
+	if err != nil {
+		c.stats.MajorityLost.Add(1)
+		return nil, fmt.Errorf("registry: list: %w", err)
+	}
+	best := map[string]int64{}
+	var mu sync.Mutex
+	for shard := 0; shard < v.Shards; shard++ {
+		err := c.quorum("list", func(conn *wire.Conn, seq int64, _ string) error {
+			ents, err := c.listReplica(conn, seq, shard)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			for _, e := range ents {
+				if e.Version > best[e.Name] {
+					best[e.Name] = e.Version
+				}
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]DirEntry, 0, len(best))
+	for name, version := range best {
+		out = append(out, DirEntry{Name: name, Version: version})
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+// listReplica runs one DLIST exchange.
+func (c *QuorumClient) listReplica(conn *wire.Conn, seq int64, shard int) ([]DirEntry, error) {
+	if err := conn.WriteLine(opDirList, wire.Itoa(seq), wire.Itoa(int64(shard))); err != nil {
+		return nil, err
+	}
+	toks, err := conn.ReadStatus()
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) != 1 {
+		return nil, fmt.Errorf("registry: malformed DLIST status %v", toks)
+	}
+	n, err := wire.ParseInt("count", toks[0])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, 0, n)
+	for i := int64(0); i < n; i++ {
+		line, err := conn.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		if len(line) != 3 || line[0] != "ENTRY" {
+			return nil, fmt.Errorf("registry: malformed entry line %v", line)
+		}
+		name, err := wire.Unquote(line[1])
+		if err != nil {
+			return nil, err
+		}
+		version, err := wire.ParseInt("version", line[2])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DirEntry{Name: name, Version: version})
+	}
+	return out, nil
+}
+
+func sortEntries(es []DirEntry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].Name < es[j-1].Name; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package registry
+
+import (
+	"errors"
+
+	"repro/internal/lbone"
+	"repro/internal/wire"
+)
+
+// Freestore's fault taxonomy (SNIPPETS.md §1, DESIGN §9) classifies every
+// failure a replicated service can surface:
+//
+//   - Tolerated: the fault is masked. A minority of replicas down, a
+//     stale view refreshed and retried, a lagging replica repaired on
+//     read — the operation still succeeds and callers never see an
+//     error.
+//   - Detected: the fault model's majority assumption is violated. The
+//     client cannot mask it, so it fails fast with an explicit error
+//     (ErrMajorityLost wrapped) rather than stalling or silently serving
+//     stale data; callers cut a postmortem bundle.
+//   - Untolerated: outside the fault model — caller bugs (bad names,
+//     version misuse), corrupted state, byzantine replies. Reported but
+//     with no masking guarantee.
+type Class int
+
+const (
+	// ClassTolerated: masked by the quorum; the operation succeeded.
+	ClassTolerated Class = iota
+	// ClassDetected: majority assumption violated; failed fast.
+	ClassDetected
+	// ClassUntolerated: outside the fault model.
+	ClassUntolerated
+)
+
+// String names the class for logs and postmortems.
+func (c Class) String() string {
+	switch c {
+	case ClassTolerated:
+		return "tolerated"
+	case ClassDetected:
+		return "detected"
+	default:
+		return "untolerated"
+	}
+}
+
+// ErrMajorityLost reports that fewer than a quorum of view members
+// answered: the replication fault model's one assumption — a live
+// majority — does not hold, so the operation fails fast instead of
+// blocking or guessing.
+var ErrMajorityLost = errors.New("registry: majority of view members unreachable")
+
+// ErrStaleView reports that replicas rejected the client's view stamp
+// even after a refresh — the group reconfigured underneath us faster
+// than we could follow.
+var ErrStaleView = errors.New("registry: view stamp stale after refresh")
+
+// ErrVersionConflict reports that a directory write lost its optimistic
+// concurrency race: another client installed the same or a newer version
+// first. Retry from a fresh read.
+var ErrVersionConflict = errors.New("registry: directory version conflict")
+
+// Classify places an error from a registry (or lbone discovery) operation
+// in the freestore taxonomy. A nil error is a tolerated outcome by
+// definition — any minority faults along the way were masked.
+func Classify(err error) Class {
+	switch {
+	case err == nil:
+		return ClassTolerated
+	case errors.Is(err, ErrMajorityLost),
+		errors.Is(err, ErrStaleView),
+		errors.Is(err, lbone.ErrNoRegistry):
+		// The service (or a majority of it) is gone and the client
+		// noticed: detected, fail-fast.
+		return ClassDetected
+	case errors.Is(err, ErrVersionConflict),
+		wire.IsRemote(err, wire.CodeConflict):
+		// Concurrent-writer races are client-coordination faults, not
+		// replica faults: the quorum behaved correctly.
+		return ClassUntolerated
+	default:
+		return ClassUntolerated
+	}
+}

@@ -192,6 +192,18 @@ func (o ibpObserver) Record(ev obs.Event) {
 	}
 }
 
+// ObserveRegistry adapts the quorum client's per-replica outcome hook
+// into RegistryAvailability SLI samples, keyed by replica address. Wire
+// it with registry.WithObserver(slo.ObserveRegistry(engine)): every
+// replica exchange — masked by the quorum or not — lands in the burn-rate
+// windows, so a silently dead minority replica still pages before a
+// second failure turns tolerated into detected.
+func ObserveRegistry(e *Engine) func(replica string, ok bool) {
+	return func(replica string, ok bool) {
+		e.Record(RegistryAvailability, replica, ok)
+	}
+}
+
 // SortedAlertKeys returns the distinct keys currently firing, sorted —
 // convenient for tests and reports.
 func SortedAlertKeys(alerts []Alert) []string {

@@ -35,9 +35,10 @@ type SLI string
 // The stack's indicators. Keys are per-SLI: depot address for IBPOps and
 // DepotAvailability, a tool/site label for DownloadSuccess.
 const (
-	IBPOps            SLI = "ibp_ops"            // per-depot IBP op success ratio + latency
-	DepotAvailability SLI = "depot_availability" // per-depot probe availability (stackmon)
-	DownloadSuccess   SLI = "download_success"   // end-to-end data retrieval success
+	IBPOps               SLI = "ibp_ops"               // per-depot IBP op success ratio + latency
+	DepotAvailability    SLI = "depot_availability"    // per-depot probe availability (stackmon)
+	DownloadSuccess      SLI = "download_success"      // end-to-end data retrieval success
+	RegistryAvailability SLI = "registry_availability" // per-replica registry reachability (quorum client feed)
 )
 
 // BurnRule is one multi-window burn-rate alert condition: fire when both
@@ -77,6 +78,10 @@ func DefaultObjectives() []Objective {
 		{Name: "ibp-op-success", SLI: IBPOps, Target: 0.99, Window: 24 * time.Hour},
 		{Name: "depot-availability", SLI: DepotAvailability, Target: 0.95, Window: 24 * time.Hour},
 		{Name: "download-success", SLI: DownloadSuccess, Target: 0.99, Window: 24 * time.Hour},
+		// A replica may sit dead for a while before anyone notices the
+		// quorum masking it — looser than depot availability, because a
+		// minority loss is a tolerated failure by design (DESIGN §9).
+		{Name: "registry-availability", SLI: RegistryAvailability, Target: 0.9, Window: 24 * time.Hour},
 	}
 }
 

@@ -165,6 +165,26 @@ func TestObserveIBPAdapter(t *testing.T) {
 	}
 }
 
+func TestObserveRegistryAdapter(t *testing.T) {
+	clk := vclock.NewVirtual(testStart)
+	e := New(Config{Clock: clk, Bucket: time.Minute})
+	o := ObserveRegistry(e)
+	o("r1:6767", true)
+	o("r1:6767", false)
+	o("r2:6767", true)
+
+	e.mu.Lock()
+	s1 := e.series[sliKey{RegistryAvailability, "r1:6767"}]
+	s2 := e.series[sliKey{RegistryAvailability, "r2:6767"}]
+	e.mu.Unlock()
+	if s1 == nil || s1.totalGood != 1 || s1.totalBad != 1 {
+		t.Fatalf("r1 series %+v, want 1 good + 1 bad", s1)
+	}
+	if s2 == nil || s2.totalGood != 1 || s2.totalBad != 0 {
+		t.Fatalf("r2 series %+v, want 1 good", s2)
+	}
+}
+
 func TestMetricsAndHandler(t *testing.T) {
 	clk := vclock.NewVirtual(testStart)
 	e := testEngine(clk)

@@ -334,6 +334,11 @@ const (
 	CodeUnavailable  = "UNAVAILABLE"
 	CodeCapMismatch  = "CAP_MISMATCH"
 	CodeQuotaReached = "QUOTA"
+	// Replicated-registry codes (internal/registry): the request carried
+	// a view stamp older than the replica's installed view, or a
+	// directory write lost an optimistic-concurrency race.
+	CodeStaleView = "STALE_VIEW"
+	CodeConflict  = "CONFLICT"
 )
 
 // RemoteError is an error reported by the server side of a protocol
