@@ -2,7 +2,7 @@
 # suite, then race-detector runs of the concurrency-heavy packages
 # (parallel transfers in core, connection pool + shared health scoreboard
 # in ibp, depot metric counters, lbone registry, the obs collector).
-.PHONY: tier1 build vet staticcheck test race bench bench-check stackmon-smoke slo-smoke registry-smoke
+.PHONY: tier1 build vet staticcheck test race bench bench-check stackmon-smoke slo-smoke registry-smoke repair-smoke
 
 tier1: build vet staticcheck test race
 
@@ -28,7 +28,7 @@ race:
 	go test -race repro/internal/core repro/internal/ibp repro/internal/health \
 		repro/internal/depot repro/internal/lbone repro/internal/obs \
 		repro/internal/transfer repro/internal/faultnet repro/internal/stackmon \
-		repro/internal/slo repro/internal/registry
+		repro/internal/slo repro/internal/registry repro/internal/repaird
 
 # End-to-end transfer benchmarks → BENCH_upload_download.json
 # (ns/op and MB/s per bench; raw bench log stays on stderr), plus the
@@ -92,6 +92,17 @@ slo-smoke:
 	POSTMORTEM_DIR=$(CURDIR) go test -count=1 \
 		-run TestOutageFiresAlertAndCutsMatchingBundle ./internal/slo/
 	@echo "wrote SLO_alerts.json and POSTMORTEM_*.json"
+
+# Repair-fleet smoke: the 48-virtual-hour churn soak — 21 depots failing
+# on the paper's §3 availability schedule, 200 files on 8h leases, two
+# shard-assigned maintenance daemons refreshing and re-replicating through
+# the per-depot repair limiter. Fails if any file's persistent redundancy
+# ever drops below its durability target; writes the fleet's activity
+# report to repair-smoke/REPAIR_soak.json for CI to archive.
+repair-smoke:
+	REPAIR_SOAK_DIR=$(CURDIR)/repair-smoke go test -count=1 \
+		-run TestRepairFleetChurnSoak ./internal/repaird/
+	@echo "wrote repair-smoke/REPAIR_soak.json (churn-soak fleet report)"
 
 # Registry smoke: the quorum acceptance experiment — three registry
 # replicas on a scripted fault schedule. A minority kill mid-upload is

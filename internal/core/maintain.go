@@ -162,11 +162,19 @@ func (t *Tools) allocationGone(m *exnode.Mapping) bool {
 }
 
 // worstCoverage returns the minimum, over extents of the file, of the
-// number of currently-available replica mappings covering the extent.
+// effective redundancy covering the extent: the number of currently-
+// available replica mappings, plus what the coding groups contribute. A
+// k+m group with a >= k blocks reachable can lose a-k more blocks and
+// still rebuild, so it counts as a-k+1 independent copies of the extent
+// it protects; an unrecoverable group (a < k) counts nothing. Counting
+// only replicas here made every coded-only file report coverage 0, so
+// Maintain stacked fresh replicas onto perfectly healthy coding groups
+// on every single pass.
 func (t *Tools) worstCoverage(x *exnode.ExNode) int {
 	avail := map[*exnode.Mapping]bool{}
 	for _, m := range x.Mappings {
-		if !m.IsReplica() {
+		if m.Manage.IsZero() {
+			// Read-only share: nothing to probe, assume nothing.
 			continue
 		}
 		if t.healthBlocked(m.Manage.Addr) {
@@ -177,12 +185,37 @@ func (t *Tools) worstCoverage(x *exnode.ExNode) int {
 			avail[m] = true
 		}
 	}
+	type groupCover struct {
+		ext exnode.Extent
+		eff int // effective copies the group contributes to its extent
+	}
+	var groups []groupCover
+	for _, ms := range x.CodingGroups() {
+		k := ms[0].DataBlocks
+		blocks := map[int]bool{}
+		for _, m := range ms {
+			if avail[m] {
+				blocks[m.BlockIndex] = true
+			}
+		}
+		if a := len(blocks); a >= k {
+			groups = append(groups, groupCover{
+				ext: exnode.Extent{Start: ms[0].Offset, End: ms[0].End()},
+				eff: a - k + 1,
+			})
+		}
+	}
 	min := -1
 	for _, ext := range x.Boundaries(0, x.Size) {
 		n := 0
 		for _, m := range x.Candidates(ext) {
 			if avail[m] {
 				n++
+			}
+		}
+		for _, g := range groups {
+			if g.ext.Start <= ext.Start && ext.End <= g.ext.End {
+				n += g.eff
 			}
 		}
 		if min == -1 || n < min {

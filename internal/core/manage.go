@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/exnode"
 	"repro/internal/geo"
 	"repro/internal/health"
@@ -133,6 +134,9 @@ func (t *Tools) Augment(x *exnode.ExNode, opts AugmentOptions) (*exnode.ExNode, 
 		Duration:  opts.Duration,
 		Checksum:  opts.Checksum,
 	})
+	// Download's result is pool-backed and Upload does not retain it past
+	// return; release it on every path before looking at the error.
+	bufpool.Put(data)
 	if err != nil {
 		return nil, fmt.Errorf("core: augment: %w", err)
 	}
@@ -190,16 +194,29 @@ func (t *Tools) augmentThirdParty(x *exnode.ExNode, opts AugmentOptions) (*exnod
 		}
 	}
 	now := t.clock().Now()
+	// Every allocation made across the r/j loops, so a mid-loop failure
+	// can release all of them — not just the one that failed. The depots
+	// would eventually reap the orphans at expiry, but a repair daemon
+	// retrying a flaky augment would leak capacity for days at a time.
+	var created []ibp.Cap
+	abort := func(err error) (*exnode.ExNode, error) {
+		for _, c := range created {
+			if _, derr := t.IBP.Delete(c); derr != nil {
+				t.logf("core: third-party augment: releasing %s: %v", c.Addr, derr)
+			}
+		}
+		return nil, err
+	}
 	for r := 0; r < opts.Replicas; r++ {
 		for j, src := range source {
 			target := targets[(j+r)%len(targets)]
 			set, err := t.IBP.Allocate(target.Addr, src.Length, duration, ibp.Hard)
 			if err != nil {
-				return nil, fmt.Errorf("core: third-party augment on %s: %w", target.Name, err)
+				return abort(fmt.Errorf("core: third-party augment on %s: %w", target.Name, err))
 			}
+			created = append(created, set.Manage)
 			if _, err := t.IBP.Copy(src.Read, 0, src.Length, set.Write); err != nil {
-				t.IBP.Delete(set.Manage)
-				return nil, fmt.Errorf("core: third-party copy %s -> %s: %w", src.Depot, target.Name, err)
+				return abort(fmt.Errorf("core: third-party copy %s -> %s: %w", src.Depot, target.Name, err))
 			}
 			out.Add(&exnode.Mapping{
 				Offset:   src.Offset,
@@ -214,7 +231,10 @@ func (t *Tools) augmentThirdParty(x *exnode.ExNode, opts AugmentOptions) (*exnod
 			})
 		}
 	}
-	return out, out.Validate()
+	if err := out.Validate(); err != nil {
+		return abort(fmt.Errorf("core: third-party augment: %w", err))
+	}
+	return out, nil
 }
 
 // pickAvailableReplica returns the fragments of a replica that fully

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. Byte-level
+// allocation pins (TotalAlloc deltas) are skipped under -race: the
+// instrumentation's own shadow allocations inflate the numbers the tests
+// account for.
+const raceEnabled = true

@@ -1,0 +1,217 @@
+// Risk scoring: turn an exNode plus the fleet's health/availability
+// signals into a loss-risk estimate in [0,1], with no per-allocation
+// probes. The scanner visits every file in the shard on every sweep, so
+// scoring has to be cheap — it reads the directory copy of the exNode and
+// per-depot signals that are already being collected (health scoreboard,
+// stackmon availability series, NWS forecasts). The expensive truth
+// (probing each allocation) is what the Maintain pass itself does, and
+// only queued files pay for it.
+package repaird
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exnode"
+	"repro/internal/nws"
+)
+
+// EffectiveCoverage estimates the worst-extent redundancy of x at now
+// without probing: a mapping counts when its allocation has not expired
+// and live(addr) believes its depot is serving. Coding groups count as in
+// core's repair metric — a k+m group with a live blocks contributes
+// a-k+1 effective copies to the extent it protects (zero when a < k).
+func EffectiveCoverage(x *exnode.ExNode, now time.Time, live func(addr string) bool) int {
+	avail := map[*exnode.Mapping]bool{}
+	for _, m := range x.Mappings {
+		if !m.Expires.IsZero() && now.After(m.Expires) {
+			continue
+		}
+		if !live(mappingAddr(m)) {
+			continue
+		}
+		avail[m] = true
+	}
+	type groupCover struct {
+		ext exnode.Extent
+		eff int
+	}
+	var groups []groupCover
+	for _, ms := range x.CodingGroups() {
+		k := ms[0].DataBlocks
+		blocks := map[int]bool{}
+		for _, m := range ms {
+			if avail[m] {
+				blocks[m.BlockIndex] = true
+			}
+		}
+		if a := len(blocks); a >= k {
+			groups = append(groups, groupCover{
+				ext: exnode.Extent{Start: ms[0].Offset, End: ms[0].End()},
+				eff: a - k + 1,
+			})
+		}
+	}
+	min := -1
+	for _, ext := range x.Boundaries(0, x.Size) {
+		n := 0
+		for _, m := range x.Candidates(ext) {
+			if avail[m] {
+				n++
+			}
+		}
+		for _, g := range groups {
+			if g.ext.Start <= ext.Start && ext.End <= g.ext.End {
+				n += g.eff
+			}
+		}
+		if min == -1 || n < min {
+			min = n
+		}
+	}
+	if min == -1 {
+		return 0
+	}
+	return min
+}
+
+// mappingAddr returns the depot address a mapping lives on (manage cap
+// when present, read cap on read-only shares).
+func mappingAddr(m *exnode.Mapping) string {
+	if !m.Manage.IsZero() {
+		return m.Manage.Addr
+	}
+	return m.Read.Addr
+}
+
+// Risk is one file's scored loss risk.
+type Risk struct {
+	Name    string
+	Version int64
+	Score   float64
+	Reason  string
+}
+
+// score rates x's loss risk at now. Components, strongest wins:
+//
+//   - redundancy deficit: estimated worst-extent coverage below the
+//     durability target. Coverage 0 is a presumed-loss emergency (1.0);
+//     anything under the target lands in [0.6, 1.0).
+//   - expiry urgency: the soonest-expiring allocation inside the refresh
+//     window maps to [0.5, 1.0] — a file whose leases are lapsing is at
+//     risk no matter how many copies exist.
+//   - depot flakiness: the least-available depot holding live bytes,
+//     from the stackmon series (or the health score when stackmon has no
+//     sample), contributes up to 0.5 — flaky placement alone never
+//     outranks a file that is actually degraded.
+//   - repair drag: when every source depot forecasts under 1 Mbit/s, add
+//     0.1 — files that will be slow to re-replicate should start sooner.
+func (d *Daemon) score(x *exnode.ExNode, now time.Time) (float64, string) {
+	target := d.target()
+	cov := EffectiveCoverage(x, now, d.depotLive)
+
+	risk, reason := 0.0, "healthy"
+	bump := func(r float64, why string) {
+		if r > risk {
+			risk, reason = r, why
+		}
+	}
+	switch {
+	case cov <= 0:
+		bump(1, "no live coverage")
+	case cov < target:
+		bump(0.6+0.4*float64(target-cov)/float64(target),
+			fmt.Sprintf("coverage %d below target %d", cov, target))
+	}
+
+	window := d.cfg.Maintain.RefreshBelow
+	if window <= 0 {
+		window = 24 * time.Hour
+	}
+	soonest := time.Time{}
+	for _, m := range x.Mappings {
+		if m.Expires.IsZero() {
+			continue
+		}
+		if soonest.IsZero() || m.Expires.Before(soonest) {
+			soonest = m.Expires
+		}
+	}
+	if !soonest.IsZero() {
+		if left := soonest.Sub(now); left < window {
+			frac := float64(left) / float64(window)
+			if frac < 0 {
+				frac = 0
+			}
+			bump(0.5+0.5*(1-frac), fmt.Sprintf("allocation expires in %v", left.Round(time.Minute)))
+		}
+	}
+
+	worst := 1.0
+	for _, m := range x.Mappings {
+		if a := d.depotAvailability(mappingAddr(m)); a < worst {
+			worst = a
+		}
+	}
+	if worst < 1 {
+		bump(0.5*(1-worst), fmt.Sprintf("worst depot availability %.2f", worst))
+	}
+
+	if d.cfg.Tools.NWS != nil && d.slowToRepair(x) {
+		bump(risk+0.1, reason+"; slow repair path")
+	}
+	if risk > 1 {
+		risk = 1
+	}
+	return risk, reason
+}
+
+// depotLive is the scanner's cheap liveness verdict for one depot: the
+// circuit breaker must not be open, and whichever availability signal
+// exists (stackmon series first, health score otherwise) must not call
+// the depot mostly-dead.
+func (d *Daemon) depotLive(addr string) bool {
+	if addr == "" {
+		return false
+	}
+	h := d.cfg.Tools.Health
+	if h != nil && h.Blocked(addr) {
+		return false
+	}
+	return d.depotAvailability(addr) >= 0.5
+}
+
+// depotAvailability merges the availability signals for one depot into a
+// fraction in [0,1]; unknown depots count as fully available (the same
+// benefit of the doubt the health scoreboard gives).
+func (d *Daemon) depotAvailability(addr string) float64 {
+	if d.cfg.Avail != nil {
+		if a, ok := d.cfg.Avail.Availability(addr); ok {
+			return a
+		}
+	}
+	if h := d.cfg.Tools.Health; h != nil {
+		return h.Score(addr)
+	}
+	return 1
+}
+
+// slowToRepair reports whether every depot holding the file forecasts
+// under 1 Mbit/s toward this daemon — the repair read will crawl, so the
+// file should be scheduled ahead of equally-risky peers. Forecasts are
+// keyed the way the download ranker records them: (site, depot addr).
+func (d *Daemon) slowToRepair(x *exnode.ExNode) bool {
+	nwsSrc := d.cfg.Tools.NWS
+	saw := false
+	for _, m := range x.Mappings {
+		bw, ok := nwsSrc.Forecast(d.cfg.Tools.Site, m.Read.Addr, nws.Bandwidth)
+		if !ok {
+			continue
+		}
+		saw = true
+		if bw >= 1 {
+			return false
+		}
+	}
+	return saw
+}

@@ -204,6 +204,16 @@ func ObserveRegistry(e *Engine) func(replica string, ok bool) {
 	}
 }
 
+// ObserveDurability adapts the engine into the maintenance fleet's
+// durability feed: each scan of a file yields one good/bad verdict (at or
+// above its redundancy floor, or below it), keyed by the daemon's shard so
+// cardinality stays bounded at fleet scale.
+func ObserveDurability(e *Engine) func(shard string, ok bool) {
+	return func(shard string, ok bool) {
+		e.Record(Durability, shard, ok)
+	}
+}
+
 // SortedAlertKeys returns the distinct keys currently firing, sorted —
 // convenient for tests and reports.
 func SortedAlertKeys(alerts []Alert) []string {

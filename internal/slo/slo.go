@@ -39,6 +39,7 @@ const (
 	DepotAvailability    SLI = "depot_availability"    // per-depot probe availability (stackmon)
 	DownloadSuccess      SLI = "download_success"      // end-to-end data retrieval success
 	RegistryAvailability SLI = "registry_availability" // per-replica registry reachability (quorum client feed)
+	Durability           SLI = "durability"            // per-shard file durability (repaird feed)
 )
 
 // BurnRule is one multi-window burn-rate alert condition: fire when both
@@ -82,6 +83,11 @@ func DefaultObjectives() []Objective {
 		// quorum masking it — looser than depot availability, because a
 		// minority loss is a tolerated failure by design (DESIGN §9).
 		{Name: "registry-availability", SLI: RegistryAvailability, Target: 0.9, Window: 24 * time.Hour},
+		// Durability is the one SLI where "bad" means data at risk, not an
+		// op that can be retried: every maintenance-pass verdict of a file
+		// below its redundancy floor burns budget, so a shard drifting
+		// toward loss pages long before anything is unrecoverable.
+		{Name: "durability", SLI: Durability, Target: 0.999, Window: 24 * time.Hour},
 	}
 }
 

@@ -292,6 +292,22 @@ func (m *Monitor) record(addr string, sm Sample) {
 	}
 }
 
+// Availability returns addr's measured availability fraction over the
+// retained series — the per-depot cell of the paper's §3 table — and
+// false before any sweep has sampled the depot. The maintenance fleet
+// consumes this as a risk-scoring input (a file whose copies sit on
+// depots that keep failing probes is closer to loss than its mapping
+// count suggests).
+func (m *Monitor) Availability(addr string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.byDepot[addr]
+	if s == nil || s.sweeps == 0 {
+		return 0, false
+	}
+	return float64(s.up) / float64(s.sweeps), true
+}
+
 // Run sweeps on the configured interval until stop is closed. The first
 // sweep runs immediately.
 func (m *Monitor) Run(stop <-chan struct{}) {
