@@ -2,7 +2,7 @@
 # suite, then race-detector runs of the concurrency-heavy packages
 # (parallel transfers in core, connection pool + shared health scoreboard
 # in ibp, depot metric counters, lbone registry, the obs collector).
-.PHONY: tier1 build vet staticcheck test race bench bench-check stackmon-smoke slo-smoke registry-smoke repair-smoke
+.PHONY: tier1 build vet staticcheck test race bench bench-check stackmon-smoke slo-smoke registry-smoke repair-smoke obsd-smoke
 
 tier1: build vet staticcheck test race
 
@@ -28,7 +28,8 @@ race:
 	go test -race repro/internal/core repro/internal/ibp repro/internal/health \
 		repro/internal/depot repro/internal/lbone repro/internal/obs \
 		repro/internal/transfer repro/internal/faultnet repro/internal/stackmon \
-		repro/internal/slo repro/internal/registry repro/internal/repaird
+		repro/internal/slo repro/internal/registry repro/internal/repaird \
+		repro/internal/obsfleet
 
 # End-to-end transfer benchmarks → BENCH_upload_download.json
 # (ns/op and MB/s per bench; raw bench log stays on stderr), plus the
@@ -113,3 +114,17 @@ registry-smoke:
 	REGISTRY_SMOKE_DIR=$(CURDIR)/registry-smoke go test -count=1 \
 		-run TestQuorumSurvivesMinorityKillDetectsMajorityKill ./internal/registry/
 	@echo "wrote registry-smoke/POSTMORTEM_*.json (registry majority-loss bundle)"
+
+# Fleet-observability smoke: the obsd acceptance experiment — three
+# registry replicas, three depots (one on a scripted faultnet outage), a
+# client harness, and two maintaind shards all self-register control
+# endpoints; obsd discovers them via CLIST and must (a) mirror the
+# harness's burn-rate alert in /fleet/slo, (b) join one download's trace
+# across >= 3 daemons, (c) expose a histogram exemplar that resolves back
+# through /fleet/trace, and (d) capture a pprof profile next to the
+# postmortem bundle when the alert fires. Artifacts (FLEET_report.json,
+# FLEET_report.md, PROFILE_*, POSTMORTEM_*) land in obsd-smoke/ for CI.
+obsd-smoke:
+	OBSD_SMOKE_DIR=$(CURDIR)/obsd-smoke go test -count=1 \
+		-run TestObsdFleetSmoke ./internal/obsfleet/
+	@echo "wrote obsd-smoke/FLEET_report.json (fleet operator report)"

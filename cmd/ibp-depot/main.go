@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -106,14 +107,20 @@ func main() {
 	}
 	logger.Info("serving", "capacity_bytes", *capacity, "addr", d.Addr(), "advertised", d.Advertised())
 
+	controlAddr := ""
 	if *metricsAddr != "" {
 		mux := d.ObsMux()
 		if *pprofOn {
 			obs.AttachPprof(mux)
 		}
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal("metrics listener", err)
+		}
+		controlAddr = lbone.AdvertisedControlAddr(ln.Addr().String())
 		go func() {
-			logger.Info("metrics listening", "url", "http://"+*metricsAddr+"/metrics")
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+			logger.Info("metrics listening", "url", "http://"+controlAddr+"/metrics")
+			if err := http.Serve(ln, mux); err != nil {
 				logger.Error("metrics listener", "err", err)
 			}
 		}()
@@ -161,6 +168,13 @@ func main() {
 				}
 			}
 		}()
+		// Announce the control endpoint too, so the obsd aggregator
+		// discovers this depot's scrape surface through the same registry.
+		if controlAddr != "" {
+			go client.AnnounceControl(lbone.ControlInfo{
+				Addr: controlAddr, Component: "ibp-depot", Name: *name,
+			}, *heartbeat, logger, nil)
+		}
 	}
 
 	<-stop

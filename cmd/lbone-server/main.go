@@ -17,6 +17,7 @@ package main
 
 import (
 	"flag"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -75,12 +76,28 @@ func main() {
 		if *pprofOn {
 			obs.AttachPprof(mux)
 		}
+		ln, lerr := net.Listen("tcp", *metricsAddr)
+		if lerr != nil {
+			logger.Error("metrics listener", "err", lerr)
+			os.Exit(1)
+		}
+		controlAddr := lbone.AdvertisedControlAddr(ln.Addr().String())
 		go func() {
-			logger.Info("metrics listening", "url", "http://"+*metricsAddr+"/metrics")
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+			logger.Info("metrics listening", "url", "http://"+controlAddr+"/metrics")
+			if err := http.Serve(ln, mux); err != nil {
 				logger.Error("metrics listener", "err", err)
 			}
 		}()
+		// Self-register the control endpoint in this registry's own
+		// control table (and, with -replicas, its peers'), so the obsd
+		// aggregator scrapes the registry tier alongside the depots.
+		self := lbone.NewClient(s.Addr())
+		if *replicas != "" {
+			self = lbone.NewClient(*replicas)
+		}
+		go self.AnnounceControl(lbone.ControlInfo{
+			Addr: controlAddr, Component: "lbone-server", Name: s.Addr(),
+		}, *ttl/2, logger, nil)
 	}
 	if *poll > 0 {
 		p := s.StartPoller(ibp.NewClient(), *poll)

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -81,7 +82,8 @@ func run(args []string) error {
 		return fmt.Errorf("unknown site %q", *siteName)
 	}
 
-	logger := obs.NewLogger(obs.LogConfig{JSON: *logJSON, Component: "maintaind"})
+	recorder := obs.NewFlightRecorder(0)
+	logger := obs.NewLogger(obs.LogConfig{JSON: *logJSON, Component: "maintaind", Recorder: recorder})
 	sloEngine := slo.New(slo.Config{Logger: logger})
 
 	// One health scoreboard shared by every IBP consumer in the process:
@@ -126,6 +128,7 @@ func run(args []string) error {
 		MaxRepairPerDepot: *maxPerDepot,
 		RiskThreshold:     *riskFloor,
 		SLO:               sloEngine,
+		Recorder:          recorder,
 		Logger:            logger,
 		Maintain: core.MaintainOptions{
 			MinCoverage:  *minCoverage,
@@ -172,12 +175,23 @@ func run(args []string) error {
 		if *pprofOn {
 			obs.AttachPprof(mux)
 		}
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		controlAddr := lbone.AdvertisedControlAddr(ln.Addr().String())
 		go func() {
-			log.Printf("metrics on http://%s/metrics", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+			log.Printf("metrics on http://%s/metrics", controlAddr)
+			if err := http.Serve(ln, mux); err != nil {
 				log.Printf("metrics listener: %v", err)
 			}
 		}()
+		// Announce the control endpoint so obsd discovers this shard.
+		go lbone.NewClient(*lboneAddr).AnnounceControl(lbone.ControlInfo{
+			Addr:      controlAddr,
+			Component: "maintaind",
+			Name:      fmt.Sprintf("maintaind-%d", *shardIndex),
+		}, *probeEvery, logger, stop)
 	}
 
 	log.Printf("maintaining shard %d/%d every %v (%d workers, %d repair slots per depot)",

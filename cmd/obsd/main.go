@@ -1,0 +1,115 @@
+// Command obsd is the fleet observability aggregator: one daemon that
+// turns a stack of per-daemon control endpoints into a single pane of
+// glass. It discovers every registered control endpoint through the
+// L-Bone's control table (daemons self-register their metrics listener),
+// scrapes each member's /metrics and /slo on an interval, and serves:
+//
+//	/metrics            obsd's own series plus fleet_ aggregates
+//	/fleet/slo          every member's SLO snapshot + firing alerts
+//	/fleet/report       operator report (JSON; ?format=md for markdown)
+//	/fleet/trace/<id>   a cross-daemon trace joined into one timeline
+//	/healthz            liveness
+//
+// When a member's burn-rate alert transitions to firing, obsd captures
+// that member's pprof heap (and optionally CPU) profiles into
+// -profile-dir, alongside wherever postmortem bundles land.
+//
+// Usage:
+//
+//	obsd -lbone r1:6767,r2:6767,r3:6767 -listen :9790 \
+//	     -interval 15s -profile-dir /var/obsd/profiles -cpu-seconds 5
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/lbone"
+	"repro/internal/obs"
+	"repro/internal/obsfleet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obsd: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("obsd", flag.ExitOnError)
+	var (
+		lboneAddr     = fs.String("lbone", os.Getenv("XND_LBONE"), "registry replica set, comma-separated (or $XND_LBONE); the control table there is the member source")
+		staticMembers = fs.String("static", "", "additional members as comma-separated host:port control addresses (scraped even without a registry)")
+		listen        = fs.String("listen", ":9790", "serve the fleet view on this address")
+		interval      = fs.Duration("interval", 15*time.Second, "sweep cadence")
+		scrapeTimeout = fs.Duration("scrape-timeout", 10*time.Second, "per-member request timeout")
+		profileDir    = fs.String("profile-dir", "", "capture alert-triggered pprof profiles into this directory (empty = off)")
+		cpuSeconds    = fs.Int("cpu-seconds", 0, "CPU profile length for alert-triggered capture (0 = heap only)")
+		pprofOn       = fs.Bool("pprof", false, "also serve /debug/pprof on the listener")
+		logJSON       = fs.Bool("log-json", false, "log one JSON object per line instead of text")
+	)
+	fs.Parse(args)
+
+	logger := obs.NewLogger(obs.LogConfig{JSON: *logJSON, Component: "obsd"})
+
+	cfg := obsfleet.Config{
+		Interval:          *interval,
+		ScrapeTimeout:     *scrapeTimeout,
+		ProfileDir:        *profileDir,
+		CPUProfileSeconds: *cpuSeconds,
+		Logger:            logger,
+	}
+	if *lboneAddr != "" {
+		cfg.Source = lbone.NewClient(*lboneAddr)
+	}
+	for _, addr := range strings.Split(*staticMembers, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			cfg.Static = append(cfg.Static, lbone.ControlInfo{
+				Addr: addr, Component: "static", Name: addr,
+			})
+		}
+	}
+	if cfg.Source == nil && len(cfg.Static) == 0 {
+		return errors.New("no member source: set -lbone (control-table discovery) or -static")
+	}
+
+	agg := obsfleet.New(cfg)
+	mux := agg.Mux()
+	if *pprofOn {
+		obs.AttachPprof(mux)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	go func() {
+		log.Printf("fleet view on http://%s/fleet/report", ln.Addr())
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("listener: %v", err)
+		}
+	}()
+
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Print("shutting down")
+		close(stop)
+	}()
+
+	log.Printf("sweeping every %v", *interval)
+	agg.Run(stop)
+	ln.Close()
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -123,19 +124,6 @@ func cmdRun(args []string) error {
 		return err
 	}
 
-	if *metricsAddr != "" {
-		mux := mon.ObsMux()
-		if *pprofOn {
-			obs.AttachPprof(mux)
-		}
-		go func() {
-			log.Printf("metrics on http://%s/metrics", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
-				log.Printf("metrics listener: %v", err)
-			}
-		}()
-	}
-
 	stop := make(chan struct{})
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -143,6 +131,30 @@ func cmdRun(args []string) error {
 		<-sigs
 		close(stop)
 	}()
+
+	if *metricsAddr != "" {
+		mux := mon.ObsMux()
+		if *pprofOn {
+			obs.AttachPprof(mux)
+		}
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		controlAddr := lbone.AdvertisedControlAddr(ln.Addr().String())
+		go func() {
+			log.Printf("metrics on http://%s/metrics", controlAddr)
+			if err := http.Serve(ln, mux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+		// Announce the control endpoint so obsd discovers the monitor.
+		if *lboneAddr != "" {
+			go lbone.NewClient(*lboneAddr).AnnounceControl(lbone.ControlInfo{
+				Addr: controlAddr, Component: "stackmon", Name: "stackmon",
+			}, *interval, nil, stop)
+		}
+	}
 
 	log.Printf("monitoring every %v (payload %d bytes)", *interval, *payload)
 	if *stateOut != "" {

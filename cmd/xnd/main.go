@@ -167,11 +167,12 @@ func cutPostmortem(cmdErr error) {
 		return
 	}
 	b := obs.Bundle{
-		Reason:    "nonzero-exit",
-		Component: "xnd",
-		CreatedAt: time.Now(),
-		Err:       cmdErr.Error(),
-		Entries:   recorder.Recent(0),
+		Reason:      "nonzero-exit",
+		Component:   "xnd",
+		CreatedAt:   time.Now(),
+		Err:         cmdErr.Error(),
+		Entries:     recorder.Recent(0),
+		RingDropped: recorder.Dropped(),
 	}
 	if rootSpan.Valid() {
 		b.Trace = rootSpan.TraceID

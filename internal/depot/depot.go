@@ -60,6 +60,7 @@ type Depot struct {
 	cfg      Config
 	ln       net.Listener
 	clock    vclock.Clock
+	started  time.Time
 	sem      chan struct{}
 	wg       sync.WaitGroup
 	mu       sync.Mutex
@@ -121,6 +122,7 @@ func Serve(addr string, cfg Config) (*Depot, error) {
 		cfg:      cfg,
 		ln:       ln,
 		clock:    cfg.Clock,
+		started:  cfg.Clock.Now(),
 		sem:      make(chan struct{}, cfg.MaxConns),
 		allocs:   make(map[string]*allocation),
 		shutdown: make(chan struct{}),
@@ -248,6 +250,7 @@ func (d *Depot) panicPostmortem(r any) {
 	b := obs.Bundle{
 		Reason: "panic", Component: "ibp-depot", CreatedAt: d.clock.Now(),
 		Err: fmt.Sprint(r), Entries: rec.Recent(0),
+		RingDropped: rec.Dropped(),
 	}
 	rec.StoreBundle(b)
 	if d.cfg.PostmortemDir != "" {

@@ -17,6 +17,7 @@ func (s *Server) PromMetrics() []obs.Metric {
 	s.mu.Lock()
 	total := s.reg.Len()
 	live := s.reg.LiveLen()
+	controls := s.reg.ControlLen()
 	s.mu.Unlock()
 
 	var ms []obs.Metric
@@ -33,12 +34,15 @@ func (s *Server) PromMetrics() []obs.Metric {
 	counter("lbone_queries_total", "QUERY and LIST resolutions.", st.Queries)
 	counter("lbone_depots_returned_total", "Depot entries served across all resolutions.", st.DepotsReturned)
 	counter("lbone_bad_requests_total", "Malformed or unknown requests.", st.BadRequests)
+	counter("lbone_control_ops_total", "Control-endpoint registry verbs served.", st.ControlOps)
 
 	gauge("lbone_depots_registered", "Registered depots (live or not).", float64(total))
 	gauge("lbone_depots_live", "Depots inside their liveness window.", float64(live))
+	gauge("lbone_controls_registered", "Registered fleet control endpoints (live or not).", float64(controls))
 	if s.cfg.ExtraMetrics != nil {
 		ms = append(ms, s.cfg.ExtraMetrics()...)
 	}
+	ms = append(ms, obs.ProcessMetrics("lbone-server", s.cfg.Clock.Now, s.started)...)
 	return ms
 }
 

@@ -48,9 +48,10 @@ type Requirements struct {
 // under a virtual clock (experiments, faultnet scenarios) must expire
 // depots on virtual time only, never because wall time passed.
 type Registry struct {
-	ttl     time.Duration
-	clock   vclock.Clock
-	entries map[string]DepotInfo
+	ttl      time.Duration
+	clock    vclock.Clock
+	entries  map[string]DepotInfo
+	controls map[string]ControlInfo
 }
 
 // NewRegistry creates a registry. Depots that have not re-registered or
@@ -72,7 +73,12 @@ func NewRegistryClock(ttl time.Duration, clock vclock.Clock) *Registry {
 	if clock == nil {
 		clock = vclock.Real()
 	}
-	return &Registry{ttl: ttl, clock: clock, entries: make(map[string]DepotInfo)}
+	return &Registry{
+		ttl:      ttl,
+		clock:    clock,
+		entries:  make(map[string]DepotInfo),
+		controls: make(map[string]ControlInfo),
+	}
 }
 
 // funcClock adapts a bare now-function to the Clock slice the registry

@@ -57,12 +57,14 @@ type ServerStats struct {
 	Queries        atomic.Int64 // QUERY + LIST requests (resolutions)
 	DepotsReturned atomic.Int64 // depot entries served across all queries
 	BadRequests    atomic.Int64 // malformed or unknown requests
+	ControlOps     atomic.Int64 // control-endpoint verbs (C*)
 }
 
 // StatsSnapshot is a plain-value copy for reporting.
 type StatsSnapshot struct {
 	Connects, Registers, Heartbeats, Deregisters int64
 	Queries, DepotsReturned, BadRequests         int64
+	ControlOps                                   int64
 }
 
 // Snapshot copies the counters.
@@ -75,6 +77,7 @@ func (s *ServerStats) Snapshot() StatsSnapshot {
 		Queries:        s.Queries.Load(),
 		DepotsReturned: s.DepotsReturned.Load(),
 		BadRequests:    s.BadRequests.Load(),
+		ControlOps:     s.ControlOps.Load(),
 	}
 }
 
@@ -84,6 +87,7 @@ type Server struct {
 	reg      *Registry
 	ln       net.Listener
 	cfg      ServerConfig
+	started  time.Time
 	wg       sync.WaitGroup
 	shutdown chan struct{}
 	closed   bool
@@ -106,6 +110,7 @@ func ServeRegistry(addr string, cfg ServerConfig) (*Server, error) {
 		reg:      NewRegistryClock(cfg.TTL, cfg.Clock),
 		ln:       ln,
 		cfg:      cfg,
+		started:  cfg.Clock.Now(),
 		shutdown: make(chan struct{}),
 	}
 	s.wg.Add(1)
@@ -219,6 +224,18 @@ func (s *Server) dispatch(conn *wire.Conn, op string, args []string) bool {
 	case opList:
 		s.stats.Queries.Add(1)
 		err = s.handleQuery(conn, []string{"0", "0", "-", "0"})
+	case opCRegister:
+		s.stats.ControlOps.Add(1)
+		err = s.handleCRegister(conn, args)
+	case opCHeartbeat:
+		s.stats.ControlOps.Add(1)
+		err = s.handleCHeartbeat(conn, args)
+	case opCDeregister:
+		s.stats.ControlOps.Add(1)
+		err = s.handleCDeregister(conn, args)
+	case opCList:
+		s.stats.ControlOps.Add(1)
+		err = s.handleCList(conn)
 	case opQuit:
 		return false
 	default:

@@ -73,6 +73,10 @@ type aggregate struct {
 	retried int64
 	lat     []float64 // seconds; ring once full
 	latPos  int
+	// ex holds the most recent traced sample per latency bucket of
+	// DefLatencyBounds (slot len(DefLatencyBounds) is +Inf), so the
+	// exposition can point a histogram spike at an assembled trace.
+	ex []Exemplar
 }
 
 func (a *aggregate) observe(e Event) {
@@ -94,17 +98,24 @@ func (a *aggregate) observe(e Event) {
 		a.lat[a.latPos] = s
 		a.latPos = (a.latPos + 1) % maxLatSamples
 	}
+	if e.Trace != "" {
+		if a.ex == nil {
+			a.ex = make([]Exemplar, len(DefLatencyBounds)+1)
+		}
+		a.ex[BucketIndex(DefLatencyBounds, s)] = Exemplar{Trace: e.Trace, Value: s, Time: e.Time}
+	}
 }
 
 // Collector is the standard Observer: a fixed-size ring of recent events
 // plus per-depot/per-verb aggregates. Safe for concurrent use.
 type Collector struct {
-	mu   sync.Mutex
-	ring []Event
-	pos  int
-	n    int
-	seq  uint64
-	agg  map[aggKey]*aggregate
+	mu      sync.Mutex
+	ring    []Event
+	pos     int
+	n       int
+	seq     uint64
+	dropped uint64 // events overwritten before anyone read them
+	agg     map[aggKey]*aggregate
 }
 
 // DefaultRingSize is the recent-event capacity used when NewCollector is
@@ -128,6 +139,12 @@ func (c *Collector) Record(e Event) {
 	defer c.mu.Unlock()
 	c.seq++
 	e.Seq = c.seq
+	if c.n == len(c.ring) {
+		// The slot still holds a live event: ring overflow, not rotation
+		// into empty capacity. Count it so /metrics and reports can say how
+		// much recent history was silently lost under load.
+		c.dropped++
+	}
 	c.ring[c.pos] = e
 	c.pos = (c.pos + 1) % len(c.ring)
 	if c.n < len(c.ring) {
@@ -166,6 +183,14 @@ func (c *Collector) Total() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.seq
+}
+
+// Dropped reports how many events the ring has overwritten before they
+// aged out naturally — the collector's data-loss counter under load.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // AggRow is one (depot, verb) aggregate snapshot.

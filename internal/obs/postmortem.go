@@ -56,6 +56,10 @@ type Bundle struct {
 	Entries   []Entry          `json:"entries,omitempty"`
 	Breakers  []BreakerSnap    `json:"breakers,omitempty"`
 	Forecasts []ForecastSample `json:"forecasts,omitempty"`
+	// RingDropped is the recorder's overflow count at cut time: how many
+	// entries of the recent past were overwritten before this bundle could
+	// retain them. Non-zero means the timeline starts mid-story.
+	RingDropped uint64 `json:"ring_dropped,omitempty"`
 }
 
 // Depots lists the distinct depot addresses the bundle's attempts and
@@ -170,6 +174,7 @@ func PostmortemHandler(fr *FlightRecorder, component string, now func() time.Tim
 			b = Bundle{
 				Trace: id, Reason: "on-demand", Component: component,
 				CreatedAt: now(), Entries: entries,
+				RingDropped: fr.Dropped(),
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")

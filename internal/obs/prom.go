@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Metric is one sample in the Prometheus text exposition format (version
@@ -27,6 +28,30 @@ type HistData struct {
 	Counts []uint64  // cumulative count of observations <= Bounds[i]
 	Sum    float64
 	Count  uint64
+	// Exemplars, when set, carries one recent traced observation per
+	// bucket: index i exemplifies Bounds[i], index len(Bounds) the +Inf
+	// bucket. Zero-Trace slots have no exemplar. A p99 spike in a bucket
+	// then points straight at a trace ID that can be assembled fleet-wide.
+	Exemplars []Exemplar
+}
+
+// Exemplar is one traced observation attached to a histogram bucket,
+// exposed in the OpenMetrics exemplar syntax ("# {trace_id=...} value ts").
+type Exemplar struct {
+	Trace string    // trace ID of the sampled operation ("" = no exemplar)
+	Value float64   // the observed value (seconds for latency histograms)
+	Time  time.Time // when the sample was observed
+}
+
+// BucketIndex returns the exemplar/bucket slot for an observation against
+// bounds: the first bound admitting it, or len(bounds) for +Inf.
+func BucketIndex(bounds []float64, v float64) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds)
 }
 
 // DefLatencyBounds is the default latency bucket layout (seconds), spanning
@@ -118,23 +143,44 @@ func writeLabels(b *strings.Builder, labels []Label, extraName, extraValue strin
 
 // writeHistSample emits the conventional histogram series triple:
 // name_bucket{...,le="<bound>"} rows (cumulative, ending at le="+Inf"),
-// then name_sum and name_count.
+// then name_sum and name_count. Buckets with an exemplar carry it as an
+// OpenMetrics exemplar suffix: `# {trace_id="..."} value unix-seconds`.
 func writeHistSample(b *strings.Builder, name string, m Metric) {
 	h := m.Hist
 	for i, bound := range h.Bounds {
 		b.WriteString(name + "_bucket")
 		writeLabels(b, m.Labels, "le", formatValue(bound))
-		fmt.Fprintf(b, " %d\n", h.Counts[i])
+		fmt.Fprintf(b, " %d", h.Counts[i])
+		writeExemplar(b, h, i)
+		b.WriteByte('\n')
 	}
 	b.WriteString(name + "_bucket")
 	writeLabels(b, m.Labels, "le", "+Inf")
-	fmt.Fprintf(b, " %d\n", h.Count)
+	fmt.Fprintf(b, " %d", h.Count)
+	writeExemplar(b, h, len(h.Bounds))
+	b.WriteByte('\n')
 	b.WriteString(name + "_sum")
 	writeLabels(b, m.Labels, "", "")
 	fmt.Fprintf(b, " %s\n", formatValue(h.Sum))
 	b.WriteString(name + "_count")
 	writeLabels(b, m.Labels, "", "")
 	fmt.Fprintf(b, " %d\n", h.Count)
+}
+
+// writeExemplar appends the exemplar suffix for bucket slot i, when one is
+// retained.
+func writeExemplar(b *strings.Builder, h *HistData, i int) {
+	if i >= len(h.Exemplars) {
+		return
+	}
+	ex := h.Exemplars[i]
+	if ex.Trace == "" {
+		return
+	}
+	fmt.Fprintf(b, " # {trace_id=%q} %s", ex.Trace, formatValue(ex.Value))
+	if !ex.Time.IsZero() {
+		fmt.Fprintf(b, " %s", formatValue(float64(ex.Time.UnixNano())/1e9))
+	}
 }
 
 // formatValue renders a float the way Prometheus expects: integers
@@ -197,6 +243,8 @@ func (c *Collector) CollectorMetrics(prefix string) []Metric {
 		add("op_latency_seconds_p95", "95th-percentile operation latency over the retained window.", "gauge", r.Latency.P95, r.Depot, r.Verb)
 	}
 	for _, cell := range c.latencyCells() {
+		h := NewHistData(DefLatencyBounds, cell.lat)
+		h.Exemplars = cell.ex
 		ms = append(ms, Metric{
 			Name: prefix + "op_latency_seconds",
 			Help: "Operation latency over the retained sample window.",
@@ -204,9 +252,15 @@ func (c *Collector) CollectorMetrics(prefix string) []Metric {
 			Labels: []Label{
 				{"depot", cell.depot}, {"verb", cell.verb},
 			},
-			Hist: NewHistData(DefLatencyBounds, cell.lat),
+			Hist: h,
 		})
 	}
+	ms = append(ms, Metric{
+		Name: "obs_ring_dropped_total",
+		Help: "Entries overwritten before aging out, per bounded ring.",
+		Type: "counter", Value: float64(c.Dropped()),
+		Labels: []Label{{"ring", "events"}},
+	})
 	sort.SliceStable(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
 	return ms
 }
@@ -215,6 +269,7 @@ func (c *Collector) CollectorMetrics(prefix string) []Metric {
 type latencyCell struct {
 	depot, verb string
 	lat         []float64
+	ex          []Exemplar
 }
 
 // latencyCells copies the retained latency samples per aggregation cell,
@@ -226,6 +281,7 @@ func (c *Collector) latencyCells() []latencyCell {
 		cells = append(cells, latencyCell{
 			depot: k.Depot, verb: k.Verb,
 			lat: append([]float64(nil), a.lat...),
+			ex:  append([]Exemplar(nil), a.ex...),
 		})
 	}
 	c.mu.Unlock()

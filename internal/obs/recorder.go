@@ -59,6 +59,7 @@ type FlightRecorder struct {
 	ring    []Entry
 	pos, n  int
 	seq     uint64
+	dropped uint64            // entries overwritten by ring overflow
 	bundles map[string]Bundle // last written bundle per trace, for /postmortem
 	order   []string          // bundle insertion order, oldest first
 }
@@ -82,12 +83,36 @@ func (fr *FlightRecorder) Add(e Entry) {
 	fr.mu.Lock()
 	fr.seq++
 	e.Seq = fr.seq
+	if fr.n == len(fr.ring) {
+		// Overflow: the oldest retained entry is lost, and a postmortem cut
+		// now will start mid-story. Count it instead of hiding it.
+		fr.dropped++
+	}
 	fr.ring[fr.pos] = e
 	fr.pos = (fr.pos + 1) % len(fr.ring)
 	if fr.n < len(fr.ring) {
 		fr.n++
 	}
 	fr.mu.Unlock()
+}
+
+// Dropped reports how many entries the ring has overwritten — how much of
+// the recent past a postmortem bundle can no longer tell.
+func (fr *FlightRecorder) Dropped() uint64 {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.dropped
+}
+
+// RingMetrics exposes the recorder's overflow counter, labeled ring=flight
+// to sit beside the Collector's ring=events series on the same scrape.
+func (fr *FlightRecorder) RingMetrics() []Metric {
+	return []Metric{{
+		Name: "obs_ring_dropped_total",
+		Help: "Entries overwritten before aging out, per bounded ring.",
+		Type: "counter", Value: float64(fr.Dropped()),
+		Labels: []Label{{"ring", "flight"}},
+	}}
 }
 
 // Record implements Observer: every IBP op event (and HEDGE event — the

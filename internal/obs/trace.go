@@ -10,7 +10,9 @@ package obs
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"sort"
 	"strconv"
 	"strings"
@@ -106,6 +108,30 @@ func ParseWireSpan(tok string) (WireSpan, bool) {
 		Bytes:     ns[3],
 		Violation: ns[4] != 0,
 	}, true
+}
+
+// TraceJSONHandler serves /trace/<traceID> from a flight recorder as a
+// JSON array of retained entries: 400 on a malformed ID, 404 when nothing
+// is retained for it. This is the generic daemon-side half of fleet trace
+// assembly — the depot serves its richer server spans from its own ring,
+// every other daemon serves whatever its recorder retained under the
+// trace, and obsd stitches both shapes into one timeline.
+func TraceJSONHandler(fr *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/trace/")
+		if !ValidTraceID(id) {
+			http.Error(w, "want /trace/<traceID> (hex)", http.StatusBadRequest)
+			return
+		}
+		entries := fr.ForTrace(id)
+		if len(entries) == 0 {
+			http.Error(w, "no entries retained for trace "+id, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		json.NewEncoder(w).Encode(entries) //nolint:errcheck // client went away
+	})
 }
 
 // TraceEvents returns the retained events belonging to traceID, in

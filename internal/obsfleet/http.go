@@ -1,0 +1,39 @@
+package obsfleet
+
+// The aggregator's own HTTP surface. /metrics serves obsd's self-series
+// plus the fleet_ aggregates re-exposed from the last sweep, so one
+// scrape of obsd answers for the whole stack.
+
+import (
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Exposition renders the full scrape body: self metrics (via the shared
+// obs writer) followed by the fleet aggregates.
+func (a *Aggregator) Exposition() string {
+	var b strings.Builder
+	obs.WriteMetrics(&b, append(a.SelfMetrics(), obs.RuntimeMetrics()...))
+	rows, types, help := fleetAggregate(a.Snapshot())
+	writeFleet(&b, rows, types, help)
+	return b.String()
+}
+
+// Mux returns obsd's HTTP surface: GET /metrics, GET /healthz, GET
+// /fleet/slo, GET /fleet/report (JSON, ?format=md for markdown), and
+// GET /fleet/trace/<traceID>.
+func (a *Aggregator) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(a.Exposition())) //nolint:errcheck // client went away
+	}))
+	mux.Handle("/healthz", obs.HealthzHandler(nil))
+	mux.Handle("/fleet/slo", a.FleetSLOHandler())
+	mux.Handle("/fleet/report", a.FleetReportHandler())
+	mux.Handle("/fleet/trace/", a.FleetTraceHandler())
+	return mux
+}

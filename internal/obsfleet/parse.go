@@ -1,0 +1,320 @@
+package obsfleet
+
+// A parser for the Prometheus text exposition format (version 0.0.4)
+// that the stack's daemons hand-roll in internal/obs — including the
+// OpenMetrics exemplar suffix on histogram bucket lines. The aggregator
+// re-exposes what it scrapes, so the parser keeps exactly what the
+// writer emits: samples with canonicalized labels, family type/help
+// metadata, and raw exemplar suffixes carried through verbatim.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed exposition line.
+type sample struct {
+	name     string
+	labels   []label
+	value    float64
+	exemplar string // raw suffix starting " # {trace_id=...", "" when none
+}
+
+type label struct{ name, value string }
+
+// key renders the grouping identity: name plus canonical (sorted)
+// label block.
+func (s sample) key() string {
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteString(labelBlock(s.labels))
+	return b.String()
+}
+
+// labelBlock renders labels as {a="b",...}, already sorted by
+// canonicalize; empty labels render as "".
+func labelBlock(ls []label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.name, l.value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// scrapeResult is one member's parsed /metrics answer.
+type scrapeResult struct {
+	samples []sample
+	types   map[string]string // family name -> counter/gauge/histogram
+	help    map[string]string // family name -> help text
+}
+
+// parseExposition parses a full /metrics body. Unparseable lines are an
+// error: every member runs this repo's own writer, so a torn line means
+// a real bug (the scrape-safety race test leans on this).
+func parseExposition(text string) (*scrapeResult, error) {
+	sr := &scrapeResult{
+		types: map[string]string{},
+		help:  map[string]string{},
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				sr.types[fields[2]] = strings.TrimSpace(fields[3])
+			} else if len(fields) >= 4 && fields[1] == "HELP" {
+				sr.help[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		sr.samples = append(sr.samples, s)
+	}
+	return sr, nil
+}
+
+// parseSampleLine parses `name{labels} value [# exemplar]`.
+func parseSampleLine(line string) (sample, error) {
+	var s sample
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.name = rest[:i]
+		if rest[i] == '{' {
+			end, err := labelBlockEnd(rest[i:])
+			if err != nil {
+				return s, err
+			}
+			ls, err := parseLabels(rest[i+1 : i+end])
+			if err != nil {
+				return s, err
+			}
+			s.labels = ls
+			rest = rest[i+end+1:]
+		} else {
+			rest = rest[i:]
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// Exemplar suffix: " # {trace_id=...} value [ts]".
+	if j := strings.Index(rest, " # "); j >= 0 {
+		s.exemplar = rest[j:]
+		rest = rest[:j]
+	}
+	valTok := strings.TrimSpace(rest)
+	// A bare timestamp after the value is legal exposition; the stack's
+	// writer never emits one, so reject extra tokens as torn output.
+	if strings.ContainsAny(valTok, " \t") {
+		return s, fmt.Errorf("unexpected tokens after value in %q", line)
+	}
+	v, err := strconv.ParseFloat(valTok, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", valTok, line)
+	}
+	s.value = v
+	canonicalize(s.labels)
+	return s, nil
+}
+
+// labelBlockEnd returns the index of the closing '}' of a label block
+// starting at block[0] == '{', respecting quoted values and escapes.
+func labelBlockEnd(block string) (int, error) {
+	inQuote := false
+	for i := 1; i < len(block); i++ {
+		switch block[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unterminated label block in %q", block)
+}
+
+// parseLabels parses the interior of a label block: a="b",c="d".
+func parseLabels(s string) ([]label, error) {
+	var out []label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label pair in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad label value %q: %w", rest[:end+1], err)
+		}
+		out = append(out, label{name: name, value: val})
+		s = rest[end+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// canonicalize sorts labels by name so identical label sets from
+// different members group together regardless of emission order.
+func canonicalize(ls []label) {
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i].name < ls[j].name })
+}
+
+// aggRow is one fleet-level sample: the sum of every member's matching
+// series.
+type aggRow struct {
+	name     string
+	labels   []label
+	value    float64
+	exemplar string
+	members  int // how many members contributed
+}
+
+// fleetAggregate sums member samples grouped by (name, labels).
+// Counters sum into fleet totals; gauges sum too (fleet capacity,
+// queue depth, and live-allocation gauges are all additive — the
+// exceptions, like per-member up flags, are served from obsd's own
+// obsd_member_up instead). Histogram series aggregate correctly by
+// construction: every daemon shares DefLatencyBounds, so summing
+// _bucket/_sum/_count lines per le merges the histograms. Insertion
+// order follows the first member exposing each series, preserving
+// bucket order; exemplars keep the first one seen.
+func fleetAggregate(members []*member) ([]aggRow, map[string]string, map[string]string) {
+	rows := []aggRow{}
+	index := map[string]int{}
+	types := map[string]string{}
+	help := map[string]string{}
+	for _, m := range members {
+		if m.scrape == nil {
+			continue
+		}
+		for fam, t := range m.scrape.types {
+			if _, ok := types[fam]; !ok {
+				types[fam] = t
+			}
+		}
+		for fam, h := range m.scrape.help {
+			if _, ok := help[fam]; !ok {
+				help[fam] = h
+			}
+		}
+		for _, s := range m.scrape.samples {
+			k := s.key()
+			i, ok := index[k]
+			if !ok {
+				i = len(rows)
+				index[k] = i
+				rows = append(rows, aggRow{name: s.name, labels: s.labels})
+			}
+			rows[i].value += s.value
+			rows[i].members++
+			if rows[i].exemplar == "" {
+				rows[i].exemplar = s.exemplar
+			}
+		}
+	}
+	return rows, types, help
+}
+
+// family maps a sample name to its metric family: histogram series
+// carry _bucket/_sum/_count suffixes off the family name.
+func family(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if _, ok := types[base]; ok {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// writeFleet renders the aggregated rows under the fleet_ prefix, with
+// HELP/TYPE headers emitted once per family in first-appearance order.
+func writeFleet(b *strings.Builder, rows []aggRow, types, help map[string]string) {
+	headered := map[string]bool{}
+	for _, r := range rows {
+		fam := family(r.name, types)
+		if !headered[fam] {
+			headered[fam] = true
+			if h, ok := help[fam]; ok {
+				fmt.Fprintf(b, "# HELP fleet_%s %s\n", fam, h)
+			}
+			if t, ok := types[fam]; ok {
+				fmt.Fprintf(b, "# TYPE fleet_%s %s\n", fam, t)
+			}
+		}
+		b.WriteString("fleet_")
+		b.WriteString(r.name)
+		b.WriteString(labelBlock(r.labels))
+		b.WriteByte(' ')
+		b.WriteString(formatValue(r.value))
+		b.WriteString(r.exemplar)
+		b.WriteByte('\n')
+	}
+}
+
+// formatValue matches the obs writer: integers without exponents.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// getJSON fetches and decodes a member's JSON endpoint.
+func getJSON[T any](a *Aggregator, addr, path string) (*T, error) {
+	body, err := a.get(addr, path)
+	if err != nil {
+		return nil, err
+	}
+	var v T
+	if err := json.Unmarshal(body, &v); err != nil {
+		return nil, fmt.Errorf("decode %s%s: %w", addr, path, err)
+	}
+	return &v, nil
+}

@@ -1,0 +1,147 @@
+package obsfleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lbone"
+	"repro/internal/obs"
+)
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	// Feed the parser exactly what the stack's writer emits, exemplar
+	// included.
+	c := obs.NewCollector(16)
+	c.Record(obs.Event{
+		Verb: "LOAD", Depot: "d1:6714", Latency: 2 * time.Millisecond,
+		Trace: "aabbccdd00112233", Span: "01",
+		Time: time.Date(2002, 1, 11, 15, 0, 0, 0, time.UTC),
+	})
+	var b strings.Builder
+	obs.WriteMetrics(&b, append(c.CollectorMetrics("ibp_client_"), obs.RuntimeMetrics()...))
+
+	sr, err := parseExposition(b.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if sr.types["ibp_client_op_latency_seconds"] != "histogram" {
+		t.Errorf("histogram family type lost: %v", sr.types)
+	}
+	var sawOps, sawExemplar bool
+	for _, s := range sr.samples {
+		if s.name == "ibp_client_ops_total" && s.value == 1 {
+			sawOps = true
+			if lb := labelBlock(s.labels); !strings.Contains(lb, `depot="d1:6714"`) {
+				t.Errorf("labels lost: %s", lb)
+			}
+		}
+		if strings.HasSuffix(s.name, "_bucket") && strings.Contains(s.exemplar, `trace_id="aabbccdd00112233"`) {
+			sawExemplar = true
+		}
+	}
+	if !sawOps {
+		t.Error("ops_total sample not parsed")
+	}
+	if !sawExemplar {
+		t.Error("exemplar suffix not carried through")
+	}
+}
+
+func TestParseExpositionRejectsTornLines(t *testing.T) {
+	for _, bad := range []string{
+		"ibp_ops_total{verb=\"load\" 3",   // unterminated label block
+		"ibp_ops_total 3 extra",           // trailing junk
+		"ibp_ops_total{verb=load} 3",      // unquoted value
+		"ibp_ops_total{verb=\"load\"} xx", // non-numeric value
+	} {
+		if _, err := parseExposition(bad + "\n"); err == nil {
+			t.Errorf("parse accepted torn line %q", bad)
+		}
+	}
+}
+
+func TestParseLabelsEscapes(t *testing.T) {
+	sr, err := parseExposition(`m{a="q\"uo\\te",b="x"} 1` + "\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ls := sr.samples[0].labels
+	if len(ls) != 2 || ls[0].value != `q"uo\te` {
+		t.Fatalf("escape handling wrong: %+v", ls)
+	}
+}
+
+func TestFleetAggregateSumsAcrossMembers(t *testing.T) {
+	mk := func(body string) *member {
+		sr, err := parseExposition(body)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return &member{up: true, scrape: sr}
+	}
+	m1 := mk("# TYPE ibp_depot_ops_total counter\n" +
+		"ibp_depot_ops_total{verb=\"load\"} 3\n" +
+		"lat_bucket{le=\"0.01\"} 2 # {trace_id=\"aa11\"} 0.002\n")
+	// Same series, labels emitted in a different order on purpose.
+	m2 := mk("ibp_depot_ops_total{verb=\"load\"} 4\n" +
+		"lat_bucket{le=\"0.01\"} 5\n")
+	rows, types, _ := fleetAggregate([]*member{m1, m2})
+
+	byKey := map[string]aggRow{}
+	for _, r := range rows {
+		byKey[r.name+labelBlock(r.labels)] = r
+	}
+	ops := byKey[`ibp_depot_ops_total{verb="load"}`]
+	if ops.value != 7 || ops.members != 2 {
+		t.Errorf("ops sum = %v from %d members, want 7 from 2", ops.value, ops.members)
+	}
+	buck := byKey[`lat_bucket{le="0.01"}`]
+	if buck.value != 7 {
+		t.Errorf("bucket sum = %v, want 7", buck.value)
+	}
+	if !strings.Contains(buck.exemplar, "aa11") {
+		t.Errorf("exemplar lost in aggregation: %q", buck.exemplar)
+	}
+	if types["ibp_depot_ops_total"] != "counter" {
+		t.Errorf("type metadata lost: %v", types)
+	}
+
+	var b strings.Builder
+	writeFleet(&b, rows, types, map[string]string{})
+	out := b.String()
+	if !strings.Contains(out, "# TYPE fleet_ibp_depot_ops_total counter") {
+		t.Errorf("fleet TYPE header missing:\n%s", out)
+	}
+	if !strings.Contains(out, `fleet_ibp_depot_ops_total{verb="load"} 7`) {
+		t.Errorf("fleet sum missing:\n%s", out)
+	}
+	if !strings.Contains(out, `fleet_lat_bucket{le="0.01"} 7 # {trace_id="aa11"} 0.002`) {
+		t.Errorf("fleet bucket with exemplar missing:\n%s", out)
+	}
+}
+
+func TestDiscoverMergesStaticAndSource(t *testing.T) {
+	src := staticSource{list: []lbone.ControlInfo{
+		{Addr: "a:1", Component: "ibp-depot", Name: "A"},
+		{Addr: "b:2", Component: "maintaind", Name: "B"},
+	}}
+	a := New(Config{
+		Source: src,
+		Static: []lbone.ControlInfo{{Addr: "b:2", Component: "static-b", Name: "B2"}, {Addr: "c:3", Component: "xnd", Name: "C"}},
+	})
+	got := a.discover()
+	if len(got) != 3 {
+		t.Fatalf("discover returned %d members, want 3: %+v", len(got), got)
+	}
+	if got[0].Addr != "a:1" || got[1].Addr != "b:2" || got[2].Addr != "c:3" {
+		t.Errorf("order wrong: %+v", got)
+	}
+	if got[1].Component != "static-b" {
+		t.Errorf("static should win the b:2 collision, got %q", got[1].Component)
+	}
+}
+
+type staticSource struct{ list []lbone.ControlInfo }
+
+func (s staticSource) ListControls() ([]lbone.ControlInfo, error) { return s.list, nil }

@@ -1,0 +1,103 @@
+package obsfleet
+
+// Alert-triggered profiling. A burn-rate alert firing is the one moment
+// an operator wishes they had a profile of the affected daemon — after
+// the incident the interesting stacks are gone. The aggregator already
+// watches every member's /slo each sweep, so on the none->firing edge
+// it captures that member's pprof CPU and heap profiles into
+// ProfileDir, where the postmortem bundles for the same incident land.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// CapturedProfile records one alert-triggered pprof capture.
+type CapturedProfile struct {
+	Member     string    `json:"member"`
+	Component  string    `json:"component"`
+	Alert      string    `json:"alert"` // objective/rule/key that fired
+	Kind       string    `json:"kind"`  // "cpu" or "heap"
+	Path       string    `json:"path"`
+	Bytes      int       `json:"bytes"`
+	CapturedAt time.Time `json:"captured_at"`
+	Err        string    `json:"err,omitempty"`
+}
+
+// captureProfiles grabs the member's profiles for a newly-firing alert.
+// Failures are recorded, not fatal: a daemon melting down enough to
+// fire its SLO alert may well be too sick to serve pprof.
+func (a *Aggregator) captureProfiles(m *member, alertKey string) {
+	if a.cfg.ProfileDir == "" {
+		return
+	}
+	kinds := []struct{ kind, path string }{
+		{"heap", "/debug/pprof/heap"},
+	}
+	if s := a.cfg.CPUProfileSeconds; s > 0 {
+		kinds = append(kinds, struct{ kind, path string }{
+			"cpu", fmt.Sprintf("/debug/pprof/profile?seconds=%d", s),
+		})
+	}
+	for _, k := range kinds {
+		cp := CapturedProfile{
+			Member:     m.info.Addr,
+			Component:  m.info.Component,
+			Alert:      alertKey,
+			Kind:       k.kind,
+			CapturedAt: a.clock.Now(),
+		}
+		body, err := a.get(m.info.Addr, k.path)
+		if err != nil {
+			cp.Err = err.Error()
+			a.cfg.Logger.Warn("profile capture failed",
+				"member", m.info.Addr, "kind", k.kind, "err", err)
+			a.recordProfile(cp)
+			continue
+		}
+		a.mu.Lock()
+		a.profileSeq++
+		seq := a.profileSeq
+		a.mu.Unlock()
+		name := fmt.Sprintf("PROFILE_%s_%s_%d.pb.gz", sanitizeMember(m.info.Addr), k.kind, seq)
+		path := filepath.Join(a.cfg.ProfileDir, name)
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			cp.Err = err.Error()
+		} else {
+			cp.Path = path
+			cp.Bytes = len(body)
+			a.cfg.Logger.Info("profile captured",
+				"member", m.info.Addr, "kind", k.kind, "alert", alertKey, "path", path)
+		}
+		a.recordProfile(cp)
+	}
+}
+
+func (a *Aggregator) recordProfile(cp CapturedProfile) {
+	a.mu.Lock()
+	a.profiles = append(a.profiles, cp)
+	a.mu.Unlock()
+}
+
+// Profiles returns every capture so far, in order.
+func (a *Aggregator) Profiles() []CapturedProfile {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]CapturedProfile(nil), a.profiles...)
+}
+
+// sanitizeMember turns a host:port into a filename-safe token.
+func sanitizeMember(addr string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, addr)
+}

@@ -1,0 +1,264 @@
+package obsfleet
+
+// The fleet SLO view (/fleet/slo) and operator report (/fleet/report).
+// Both are honest about coverage: a member that did not answer its last
+// scrape is listed as down and flips partial=true, because "I could not
+// ask" and "nothing to report" are different answers (freestore
+// failure taxonomy, DESIGN §9).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/slo"
+)
+
+// MemberSLO is one member's SLO document inside the fleet view.
+type MemberSLO struct {
+	Addr      string      `json:"addr"`
+	Component string      `json:"component"`
+	Name      string      `json:"name"`
+	Up        bool        `json:"up"`
+	Err       string      `json:"err,omitempty"`
+	Status    *slo.Status `json:"status,omitempty"` // nil: member has no /slo
+}
+
+// FleetAlert is one firing burn-rate alert, tagged with the member it
+// fired on.
+type FleetAlert struct {
+	Member    string `json:"member"`
+	Component string `json:"component"`
+	slo.Alert
+}
+
+// FleetSLO is the /fleet/slo document: every member's own SLO snapshot
+// plus the flattened firing set.
+type FleetSLO struct {
+	Now     time.Time    `json:"now"`
+	Partial bool         `json:"partial"` // some member unreachable
+	Members []MemberSLO  `json:"members"`
+	Alerts  []FleetAlert `json:"alerts"`
+}
+
+// FleetSLOView assembles the joined SLO document from the last sweep.
+func (a *Aggregator) FleetSLOView() FleetSLO {
+	out := FleetSLO{
+		Now:     a.clock.Now(),
+		Members: []MemberSLO{},
+		Alerts:  []FleetAlert{},
+	}
+	for _, m := range a.Snapshot() {
+		ms := MemberSLO{
+			Addr:      m.info.Addr,
+			Component: m.info.Component,
+			Name:      m.info.Name,
+			Up:        m.up,
+			Err:       m.lastErr,
+			Status:    m.slo,
+		}
+		if !m.up {
+			out.Partial = true
+		}
+		if m.slo != nil {
+			for _, al := range m.slo.Alerts {
+				if al.Firing {
+					out.Alerts = append(out.Alerts, FleetAlert{
+						Member:    m.info.Addr,
+						Component: m.info.Component,
+						Alert:     al,
+					})
+				}
+			}
+		}
+		out.Members = append(out.Members, ms)
+	}
+	return out
+}
+
+// FleetSLOHandler serves /fleet/slo.
+func (a *Aggregator) FleetSLOHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(a.FleetSLOView()) //nolint:errcheck // client went away
+	})
+}
+
+// MemberReport is one member row of the fleet report.
+type MemberReport struct {
+	Addr       string    `json:"addr"`
+	Component  string    `json:"component"`
+	Name       string    `json:"name"`
+	Up         bool      `json:"up"`
+	Err        string    `json:"err,omitempty"`
+	LastScrape time.Time `json:"last_scrape,omitempty"`
+	Samples    int       `json:"samples"`
+}
+
+// Report is the /fleet/report document.
+type Report struct {
+	GeneratedAt time.Time          `json:"generated_at"`
+	Partial     bool               `json:"partial"`
+	Members     []MemberReport     `json:"members"`
+	Alerts      []FleetAlert       `json:"alerts"`
+	RingDropped map[string]float64 `json:"ring_dropped"` // ring label -> fleet total
+	Totals      map[string]float64 `json:"totals"`       // selected fleet counters
+	Profiles    []CapturedProfile  `json:"profiles"`
+}
+
+// reportTotals are the label-free fleet sums surfaced in the report's
+// Totals map when present anywhere in the fleet.
+var reportTotals = []string{
+	"ibp_depot_bytes_in_total",
+	"ibp_depot_bytes_out_total",
+	"ibp_depot_errors_total",
+	"repair_passes_total",
+	"repair_replicas_added_total",
+	"lbone_queries_total",
+}
+
+// FleetReport assembles the operator report from the last sweep.
+func (a *Aggregator) FleetReport() Report {
+	rep := Report{
+		GeneratedAt: a.clock.Now(),
+		Members:     []MemberReport{},
+		Alerts:      a.FleetSLOView().Alerts,
+		RingDropped: map[string]float64{},
+		Totals:      map[string]float64{},
+		Profiles:    a.Profiles(),
+	}
+	members := a.Snapshot()
+	for _, m := range members {
+		mr := MemberReport{
+			Addr:      m.info.Addr,
+			Component: m.info.Component,
+			Name:      m.info.Name,
+			Up:        m.up,
+			Err:       m.lastErr,
+		}
+		if m.up {
+			mr.LastScrape = m.lastScrape
+			mr.Samples = len(m.scrape.samples)
+		} else {
+			rep.Partial = true
+		}
+		rep.Members = append(rep.Members, mr)
+	}
+	rows, _, _ := fleetAggregate(members)
+	wanted := map[string]bool{}
+	for _, n := range reportTotals {
+		wanted[n] = true
+	}
+	for _, r := range rows {
+		if r.name == "obs_ring_dropped_total" {
+			ring := "unknown"
+			for _, l := range r.labels {
+				if l.name == "ring" {
+					ring = l.value
+				}
+			}
+			rep.RingDropped[ring] += r.value
+		}
+		if wanted[r.name] {
+			rep.Totals[r.name] += r.value
+		}
+	}
+	return rep
+}
+
+// RenderReportMarkdown renders the report for humans.
+func RenderReportMarkdown(rep Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Fleet report — %s\n\n", rep.GeneratedAt.UTC().Format("2006-01-02 15:04:05 UTC"))
+	if rep.Partial {
+		b.WriteString("**PARTIAL VIEW**: one or more members did not answer the last sweep.\n\n")
+	}
+	b.WriteString("## Members\n\n")
+	b.WriteString("| addr | component | name | up | samples | error |\n")
+	b.WriteString("|------|-----------|------|----|---------|-------|\n")
+	for _, m := range rep.Members {
+		up := "yes"
+		if !m.Up {
+			up = "NO"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %d | %s |\n",
+			m.Addr, m.Component, m.Name, up, m.Samples, m.Err)
+	}
+	b.WriteString("\n## Firing alerts\n\n")
+	if len(rep.Alerts) == 0 {
+		b.WriteString("none\n")
+	} else {
+		for _, al := range rep.Alerts {
+			fmt.Fprintf(&b, "- [%s] %s/%s key=%s on %s (%s), burn long %.1fx short %.1fx\n",
+				al.Severity, al.Objective, al.Rule, al.Key, al.Member, al.Component,
+				al.BurnLong, al.BurnShort)
+		}
+	}
+	b.WriteString("\n## Ring overflow\n\n")
+	if len(rep.RingDropped) == 0 {
+		b.WriteString("no bounded rings reported\n")
+	} else {
+		rings := make([]string, 0, len(rep.RingDropped))
+		for r := range rep.RingDropped {
+			rings = append(rings, r)
+		}
+		sort.Strings(rings)
+		for _, r := range rings {
+			fmt.Fprintf(&b, "- ring %q dropped %s entries fleet-wide\n", r, formatValue(rep.RingDropped[r]))
+		}
+	}
+	if len(rep.Totals) > 0 {
+		b.WriteString("\n## Fleet totals\n\n")
+		names := make([]string, 0, len(rep.Totals))
+		for n := range rep.Totals {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "- %s: %s\n", n, formatValue(rep.Totals[n]))
+		}
+	}
+	b.WriteString("\n## Captured profiles\n\n")
+	if len(rep.Profiles) == 0 {
+		b.WriteString("none\n")
+	} else {
+		for _, p := range rep.Profiles {
+			fmt.Fprintf(&b, "- %s %s profile for %s (%s), alert %s: %s\n",
+				p.CapturedAt.UTC().Format("15:04:05"), p.Kind, p.Member, p.Component, p.Alert, p.Path)
+		}
+	}
+	return b.String()
+}
+
+// FleetReportHandler serves /fleet/report as JSON, or markdown with
+// ?format=md.
+func (a *Aggregator) FleetReportHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		rep := a.FleetReport()
+		if r.URL.Query().Get("format") == "md" {
+			w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, RenderReportMarkdown(rep))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep) //nolint:errcheck // client went away
+	})
+}

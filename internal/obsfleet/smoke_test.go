@@ -1,0 +1,439 @@
+package obsfleet_test
+
+// The obsd acceptance experiment (make obsd-smoke): a miniature fleet —
+// three registry replicas, three depots (one on a scripted outage), an
+// xnd-style client harness, and two maintaind shards — where every
+// daemon self-registers its control endpoint in the L-Bone, and one
+// obsd aggregator discovers the whole fleet through CLIST. One
+// striped+replicated download rides through the outage; afterwards:
+//
+//	(a) /fleet/slo carries exactly the burn-rate alert the harness's
+//	    own SLO engine fired, keyed to the dead depot;
+//	(b) /fleet/trace/<id> joins that download's timeline with spans
+//	    from at least three distinct daemons (client entries plus
+//	    server spans from the surviving depots);
+//	(c) the fleet exposition carries a latency-bucket exemplar whose
+//	    trace ID resolves back through trace assembly;
+//	(d) the fired alert leaves a captured pprof profile next to the
+//	    postmortem bundle;
+//	(e) the operator report lands as FLEET_report.json for CI.
+//
+// Data-plane traffic runs through faultnet on the virtual clock; the
+// observability plane (scrapes, control registration) runs over real
+// loopback HTTP, which is exactly the deployment shape.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/depot"
+	"repro/internal/faultnet"
+	"repro/internal/geo"
+	"repro/internal/health"
+	"repro/internal/ibp"
+	"repro/internal/lbone"
+	"repro/internal/obs"
+	"repro/internal/obsfleet"
+	"repro/internal/registry"
+	"repro/internal/repaird"
+	"repro/internal/slo"
+	"repro/internal/vclock"
+)
+
+var smokeStart = time.Date(2002, 1, 11, 15, 0, 0, 0, time.UTC)
+
+func smokePayload(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i*131 + i>>8)
+	}
+	return out
+}
+
+func TestObsdFleetSmoke(t *testing.T) {
+	artDir := os.Getenv("OBSD_SMOKE_DIR")
+	if artDir == "" {
+		artDir = t.TempDir()
+	} else if err := os.MkdirAll(artDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	clk := vclock.NewVirtual(smokeStart)
+	model := faultnet.NewModel(clk, 11)
+	model.SetDefaultLink(faultnet.Link{RTT: 40 * time.Millisecond, Mbps: 20})
+	model.SetLocalLink(faultnet.Link{RTT: time.Millisecond, Mbps: 100})
+
+	// --- Three registry replicas (real TCP, always up). ---
+	addrs := make([]string, 3)
+	reps := make([]*registry.Replica, 3)
+	srvs := make([]*lbone.Server, 3)
+	for i := range addrs {
+		srv, rep, err := registry.Serve("127.0.0.1:0", registry.Config{
+			Members: []string{"placeholder:0"}, Seq: 1, Shards: 4, Clock: clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i], reps[i], srvs[i] = srv.Addr(), rep, srv
+	}
+	view := registry.View{Seq: 2, Members: addrs, Shards: 4}
+	for _, rep := range reps {
+		if err := rep.Reconfigure(view); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The control-plane client: real clock and real network, because the
+	// registry replicas and the scrape muxes live on real loopback
+	// sockets. (Only data-plane clients ride faultnet's virtual WAN.)
+	ctl := lbone.NewClient(strings.Join(addrs, ","))
+
+	// announce serves mux on loopback HTTP and self-registers the control
+	// endpoint in the L-Bone, the way every daemon's main() does.
+	announce := func(mux http.Handler, component, name string) string {
+		t.Helper()
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		addr := strings.TrimPrefix(srv.URL, "http://")
+		if err := ctl.RegisterControl(lbone.ControlInfo{Addr: addr, Component: component, Name: name}); err != nil {
+			t.Fatalf("control registration for %s: %v", name, err)
+		}
+		return addr
+	}
+	for i, s := range srvs {
+		announce(s.ObsMux(), "lbone-server", addrs[i])
+	}
+
+	// --- Three depots; depot A dies for hours [1,3) of the run. ---
+	outageFrom := smokeStart.Add(time.Hour)
+	outageTo := smokeStart.Add(3 * time.Hour)
+	type depotBox struct {
+		info lbone.DepotInfo
+		ctrl string
+	}
+	serveDepot := func(name string, site geo.Site, avail faultnet.Availability) depotBox {
+		t.Helper()
+		rec := obs.NewFlightRecorder(0)
+		d, err := depot.Serve("127.0.0.1:0", depot.Config{
+			Secret: []byte("obsd-smoke-" + name), Capacity: 64 << 20,
+			Clock: clk, Recorder: rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		model.AddDepot(d.Addr(), faultnet.DepotState{Site: site.Name, Avail: avail})
+		return depotBox{
+			info: lbone.DepotInfo{
+				Addr: d.Addr(), Name: name, Site: site.Name, Loc: site.Loc,
+				Capacity: 64 << 20, MaxDuration: 30 * 24 * time.Hour,
+			},
+			ctrl: announce(d.ObsMux(), "ibp-depot", name),
+		}
+	}
+	dead := serveDepot("A", geo.UTK, faultnet.Windows{Down: []faultnet.Window{{From: outageFrom, To: outageTo}}})
+	liveB := serveDepot("B", geo.UCSD, nil)
+	liveC := serveDepot("C", geo.Harvard, nil)
+
+	// --- The xnd-style client harness: its own recorder, trace
+	// collector, SLO engine, and breaker scoreboard, all fed from one
+	// IBP event stream, exposed on a control mux like a real daemon. ---
+	rec := obs.NewFlightRecorder(0)
+	coll := obs.NewCollector(0)
+	engine := slo.New(slo.Config{
+		Clock: clk, Bucket: time.Minute, Recorder: rec,
+		Objectives: []slo.Objective{{
+			Name: "ibp-op-errors", SLI: slo.IBPOps, Target: 0.9, Window: time.Hour,
+			Rules: []slo.BurnRule{{
+				Name: "fast-burn", Long: 10 * time.Minute, Short: 2 * time.Minute,
+				Burn: 2, Severity: "page",
+			}},
+		}},
+	})
+	sb := health.New(health.Config{
+		Clock: clk, Seed: 1,
+		OnTransition: func(addr string, from, to health.State, at time.Time) {
+			rec.BreakerTransition(addr, from.String(), to.String(), at)
+		},
+	})
+	client := ibp.NewClient(
+		ibp.WithDialer(model.DialerFrom("UTK")),
+		ibp.WithClock(clk),
+		ibp.WithDialTimeout(2*time.Second),
+		ibp.WithOpTimeout(60*time.Second),
+		ibp.WithHealth(sb),
+		ibp.WithObserver(obs.Tee(rec, coll, slo.ObserveIBP(engine))),
+	)
+	qc := registry.NewQuorumClient(strings.Join(addrs, ","))
+	dir := registry.NewDirectory(qc)
+	tl := &core.Tools{
+		IBP: client, LBone: qc, Directory: dir,
+		Clock: clk, Site: geo.UTK.Name, Loc: geo.UTK.Loc, Health: sb,
+	}
+	harnessStart := clk.Now()
+	harnessMux := http.NewServeMux()
+	harnessMux.Handle("/metrics", obs.MetricsHandler(func() []obs.Metric {
+		ms := coll.CollectorMetrics("ibp_client_")
+		ms = append(ms, rec.RingMetrics()...)
+		ms = append(ms, obs.ProcessMetrics("xnd", clk.Now, harnessStart)...)
+		return append(ms, obs.RuntimeMetrics()...)
+	}))
+	harnessMux.Handle("/slo", engine.Handler())
+	harnessMux.Handle("/trace/", obs.TraceJSONHandler(rec))
+	harnessMux.Handle("/postmortem/", obs.PostmortemHandler(rec, "xnd", clk.Now))
+	obs.AttachPprof(harnessMux)
+	harnessAddr := announce(harnessMux, "xnd", "xnd-harness")
+
+	// --- Two maintaind shards over the same directory. ---
+	var maintainers []*repaird.Daemon
+	for shard := 0; shard < 2; shard++ {
+		mrec := obs.NewFlightRecorder(0)
+		mtl := &core.Tools{
+			IBP: ibp.NewClient(
+				ibp.WithDialer(model.DialerFrom(geo.UCSD.Name)),
+				ibp.WithClock(clk),
+				ibp.WithDialTimeout(2*time.Second),
+				ibp.WithOpTimeout(60*time.Second),
+			),
+			LBone: qc, Directory: dir, Clock: clk,
+			Site: geo.UCSD.Name, Loc: geo.UCSD.Loc,
+		}
+		md, err := repaird.New(repaird.Config{
+			Tools: mtl, ShardIndex: shard, ShardCount: 2, Recorder: mrec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maintainers = append(maintainers, md)
+		announce(md.ObsMux(), "maintaind", fmt.Sprintf("maintaind-%d", shard))
+	}
+
+	// --- The aggregator discovers everything through CLIST. ---
+	agg := obsfleet.New(obsfleet.Config{
+		Source: ctl, Clock: clk, ProfileDir: artDir,
+	})
+
+	// Phase A: healthy upload, striped over all three depots with two
+	// rotated replicas, then published; both maintenance shards sweep.
+	data := smokePayload(64 << 10)
+	x, err := tl.Upload("smoke/f", data, core.UploadOptions{
+		Replicas: 2, Fragments: 4, Checksum: true,
+		Depots: []lbone.DepotInfo{dead.info, liveB.info, liveC.info},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.StoreExNode(x.Name, x, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range maintainers {
+		if _, err := d.Sweep(); err != nil {
+			t.Fatalf("maintaind sweep: %v", err)
+		}
+	}
+
+	agg.Sweep()
+	base := agg.FleetSLOView()
+	if base.Partial {
+		t.Fatalf("healthy fleet reported partial: %+v", base.Members)
+	}
+	if len(base.Members) != 9 {
+		t.Fatalf("discovered %d members, want 9 (3 replicas + 3 depots + harness + 2 maintaind)", len(base.Members))
+	}
+	if len(base.Alerts) != 0 {
+		t.Fatalf("healthy fleet fired alerts: %+v", base.Alerts)
+	}
+	if got := agg.Profiles(); len(got) != 0 {
+		t.Fatalf("healthy sweep captured profiles: %+v", got)
+	}
+
+	// Phase B: into the outage. The download must survive on failovers
+	// while the client's SLO engine burns through its error budget on
+	// the dead depot.
+	clk.Advance(90 * time.Minute)
+	root := obs.NewRootSpan()
+	got, rep, err := tl.Download(x, core.DownloadOptions{Strategy: core.StrategyStatic, Span: root})
+	if err != nil {
+		t.Fatalf("download during outage must succeed from survivors: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("download content mismatch")
+	}
+	if rep.Failovers == 0 {
+		t.Fatal("expected failovers onto surviving replicas")
+	}
+	st := engine.Snapshot()
+	var firing []slo.Alert
+	for _, a := range st.Alerts {
+		if a.Firing {
+			firing = append(firing, a)
+		}
+	}
+	if len(firing) == 0 {
+		t.Fatalf("harness SLO engine fired nothing; alerts = %+v", st.Alerts)
+	}
+
+	// The harness cuts its postmortem bundle into the artifact dir, the
+	// way xnd does on a degraded transfer.
+	bundle := obs.Bundle{
+		Trace: root.TraceID, Reason: "transfer-degraded", Component: "xnd",
+		CreatedAt: clk.Now(), Entries: rec.Recent(0), RingDropped: rec.Dropped(),
+	}
+	rec.StoreBundle(bundle)
+	bundlePath, err := obs.WriteBundle(artDir, bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agg.Sweep()
+
+	// (a) /fleet/slo matches the harness's own SLI view: same firing
+	// set, keyed to the dead depot, attributed to the harness member.
+	ui := httptest.NewServer(agg.Mux())
+	defer ui.Close()
+	var fleetSLO obsfleet.FleetSLO
+	getInto(t, ui.URL+"/fleet/slo", &fleetSLO)
+	if fleetSLO.Partial {
+		t.Fatalf("fleet/slo partial with every member up: %+v", fleetSLO.Members)
+	}
+	if len(fleetSLO.Alerts) != len(firing) {
+		t.Fatalf("fleet/slo has %d alerts, harness engine has %d firing: %+v", len(fleetSLO.Alerts), len(firing), fleetSLO.Alerts)
+	}
+	for i, fa := range fleetSLO.Alerts {
+		if fa.Member != harnessAddr {
+			t.Errorf("alert %d attributed to %s, want harness %s", i, fa.Member, harnessAddr)
+		}
+		if fa.Key != dead.info.Addr {
+			t.Errorf("alert %d keyed %q, want the dead depot %q", i, fa.Key, dead.info.Addr)
+		}
+		if fa.Objective != firing[i].Objective || fa.Rule != firing[i].Rule {
+			t.Errorf("alert %d = %s/%s, harness fired %s/%s", i, fa.Objective, fa.Rule, firing[i].Objective, firing[i].Rule)
+		}
+	}
+
+	// (b) /fleet/trace joins the download's timeline across daemons.
+	var ft obsfleet.FleetTrace
+	getInto(t, ui.URL+"/fleet/trace/"+root.TraceID, &ft)
+	if ft.Partial {
+		t.Fatalf("fleet trace partial with every member up: %+v", ft.Members)
+	}
+	daemons := map[string]bool{}
+	var serverSpans, clientEntries int
+	for _, s := range ft.Spans {
+		daemons[s.Member] = true
+		switch {
+		case s.Kind == "server-span":
+			serverSpans++
+		case s.Source == "trace" && s.Member == harnessAddr:
+			clientEntries++
+		}
+	}
+	if len(daemons) < 3 {
+		t.Fatalf("trace %s joined spans from %d daemons, want >= 3: %+v", root.TraceID, len(daemons), ft.Members)
+	}
+	if serverSpans == 0 || clientEntries == 0 {
+		t.Fatalf("joined timeline missing a side: %d server spans, %d client entries", serverSpans, clientEntries)
+	}
+
+	// (c) A fleet histogram bucket carries an exemplar whose trace ID
+	// resolves back through trace assembly.
+	expo := agg.Exposition()
+	exRe := regexp.MustCompile(`fleet_ibp_client_op_latency_seconds_bucket\{[^}]*\} [0-9.e+-]+ # \{trace_id="([0-9a-f]+)"\}`)
+	match := exRe.FindStringSubmatch(expo)
+	if match == nil {
+		t.Fatalf("fleet exposition has no latency exemplar:\n%s", grepLines(expo, "fleet_ibp_client_op_latency_seconds_bucket"))
+	}
+	exTrace := match[1]
+	if exFt := agg.AssembleTrace(exTrace); len(exFt.Spans) == 0 {
+		t.Fatalf("exemplar trace %s does not resolve through /fleet/trace", exTrace)
+	}
+
+	// (d) The fired alert captured a pprof profile, sitting next to the
+	// postmortem bundle.
+	profiles := agg.Profiles()
+	if len(profiles) == 0 {
+		t.Fatal("burn alert fired but no profile was captured")
+	}
+	for _, p := range profiles {
+		if p.Err != "" {
+			t.Fatalf("profile capture failed: %+v", p)
+		}
+		if p.Member != harnessAddr || p.Kind != "heap" {
+			t.Errorf("unexpected capture %+v", p)
+		}
+		fi, err := os.Stat(p.Path)
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("captured profile %s: %v", p.Path, err)
+		}
+		if filepath.Dir(p.Path) != filepath.Dir(bundlePath) {
+			t.Errorf("profile %s not alongside postmortem %s", p.Path, bundlePath)
+		}
+	}
+
+	// (e) The operator report, with fleet totals and the alert, lands as
+	// FLEET_report.json (plus the human rendering) for CI to archive.
+	report := agg.FleetReport()
+	if report.Partial {
+		t.Fatal("report partial with every member up")
+	}
+	if report.Totals["ibp_depot_bytes_out_total"] == 0 {
+		t.Errorf("report fleet totals missing served bytes: %+v", report.Totals)
+	}
+	if len(report.Alerts) == 0 {
+		t.Error("report carries no firing alerts")
+	}
+	if len(report.Profiles) == 0 {
+		t.Error("report carries no captured profiles")
+	}
+	if _, ok := report.RingDropped["events"]; !ok {
+		t.Errorf("report has no ring accounting: %+v", report.RingDropped)
+	}
+	js, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(artDir, "FLEET_report.json"), append(js, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(artDir, "FLEET_report.md"), []byte(obsfleet.RenderReportMarkdown(report)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fleet report written to %s", filepath.Join(artDir, "FLEET_report.json"))
+}
+
+func getInto(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func grepLines(text, substr string) string {
+	var b strings.Builder
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

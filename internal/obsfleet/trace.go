@@ -1,0 +1,246 @@
+package obsfleet
+
+// Cross-daemon trace assembly. One tool operation leaves fragments of
+// its trace all over the fleet: the client's flight recorder holds the
+// root span and per-extent events, each depot's span ring holds the
+// server-side view of every exchange, the maintenance daemons hold
+// repair spans, and a failed operation leaves a postmortem bundle. The
+// assembler fans the trace ID out to every member's /trace/<id> (and
+// /postmortem/<trace> as a fallback when the live ring already aged the
+// entries out) and stitches the answers into one time-ordered timeline.
+//
+// Partial fleets are flagged, never hidden: a member that cannot be
+// reached is a detected failure (freestore taxonomy), not an empty
+// trace, so the response says which members were silent and carries
+// partial=true instead of pretending the timeline is complete.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TimelineSpan is one normalized span or event in the joined timeline,
+// whichever daemon shape it came from.
+type TimelineSpan struct {
+	Member     string    `json:"member"`    // control address that served it
+	Component  string    `json:"component"` // "ibp-depot", "maintaind", "xnd", ...
+	Source     string    `json:"source"`    // "trace" or "postmortem"
+	Kind       string    `json:"kind"`      // entry kind, or "server-span" for depot rings
+	Trace      string    `json:"trace"`
+	Span       string    `json:"span,omitempty"`
+	Parent     string    `json:"parent,omitempty"`
+	Verb       string    `json:"verb,omitempty"`
+	Depot      string    `json:"depot,omitempty"`
+	Time       time.Time `json:"time"`
+	DurationNS int64     `json:"duration_ns,omitempty"`
+	Bytes      int64     `json:"bytes,omitempty"`
+	Outcome    string    `json:"outcome,omitempty"`
+	Err        string    `json:"err,omitempty"`
+	Msg        string    `json:"msg,omitempty"`
+}
+
+// MemberTraceStatus reports how one member answered the fan-out.
+type MemberTraceStatus struct {
+	Addr      string `json:"addr"`
+	Component string `json:"component"`
+	Status    string `json:"status"` // "ok", "no-data", "unreachable"
+	Spans     int    `json:"spans"`
+	Err       string `json:"err,omitempty"`
+}
+
+// FleetTrace is the /fleet/trace/<id> document.
+type FleetTrace struct {
+	Trace   string              `json:"trace"`
+	Partial bool                `json:"partial"` // some member could not be asked
+	Members []MemberTraceStatus `json:"members"`
+	Spans   []TimelineSpan      `json:"spans"`
+}
+
+// flexSpan decodes both member trace shapes with one struct: the
+// depot's ServerSpan ("span", "start", "queue_wait_ns", ...) and the
+// generic flight-recorder Entry ("kind", "time", "latency_ns", ...).
+// The shared keys ("trace", "verb", "bytes") mean the same thing in
+// both.
+type flexSpan struct {
+	Trace  string `json:"trace"`
+	Verb   string `json:"verb"`
+	Bytes  int64  `json:"bytes"`
+	Parent string `json:"parent"`
+
+	// Depot server-span fields.
+	Span      string     `json:"span"`
+	Start     *time.Time `json:"start"`
+	QueueWait int64      `json:"queue_wait_ns"`
+	Backend   int64      `json:"backend_ns"`
+	TotalNS   int64      `json:"total_ns"`
+	Violation bool       `json:"violation"`
+	Code      string     `json:"code"`
+
+	// Flight-recorder entry fields.
+	Kind      string     `json:"kind"`
+	Time      *time.Time `json:"time"`
+	LatencyNS int64      `json:"latency_ns"`
+	Outcome   string     `json:"outcome"`
+	Err       string     `json:"err"`
+	Msg       string     `json:"msg"`
+	Depot     string     `json:"depot"`
+}
+
+// normalize converts a decoded span into the joined-timeline shape.
+func (f flexSpan) normalize(m *member, source, traceID string) TimelineSpan {
+	ts := TimelineSpan{
+		Member:    m.info.Addr,
+		Component: m.info.Component,
+		Source:    source,
+		Trace:     traceID,
+		Verb:      f.Verb,
+		Bytes:     f.Bytes,
+		Parent:    f.Parent,
+	}
+	if f.Start != nil { // depot server span
+		ts.Kind = "server-span"
+		ts.Span = f.Span
+		ts.Time = *f.Start
+		ts.DurationNS = f.TotalNS
+		ts.Depot = m.info.Name
+		switch {
+		case f.Violation:
+			ts.Outcome = "violation"
+		case f.Code != "":
+			ts.Outcome = f.Code
+		default:
+			ts.Outcome = "ok"
+		}
+		return ts
+	}
+	ts.Kind = f.Kind
+	if f.Time != nil {
+		ts.Time = *f.Time
+	}
+	ts.DurationNS = f.LatencyNS
+	ts.Outcome = f.Outcome
+	ts.Err = f.Err
+	ts.Msg = f.Msg
+	ts.Depot = f.Depot
+	return ts
+}
+
+// AssembleTrace fans traceID out to the current member set and joins
+// the answers. It never errors: an unreachable fleet yields an empty,
+// partial document — the HTTP handler decides the status code.
+func (a *Aggregator) AssembleTrace(traceID string) FleetTrace {
+	ft := FleetTrace{Trace: traceID, Spans: []TimelineSpan{}}
+	for _, m := range a.Snapshot() {
+		st := MemberTraceStatus{Addr: m.info.Addr, Component: m.info.Component}
+		spans, err := a.memberTrace(m, traceID)
+		switch {
+		case err == nil && len(spans) > 0:
+			st.Status = "ok"
+			st.Spans = len(spans)
+			ft.Spans = append(ft.Spans, spans...)
+		case err == nil:
+			st.Status = "no-data"
+		default:
+			st.Status = "unreachable"
+			st.Err = err.Error()
+			ft.Partial = true
+		}
+		ft.Members = append(ft.Members, st)
+	}
+	sort.SliceStable(ft.Spans, func(i, j int) bool {
+		return ft.Spans[i].Time.Before(ft.Spans[j].Time)
+	})
+	return ft
+}
+
+// memberTrace asks one member for a trace: /trace/<id> first, then the
+// postmortem bundle when the live ring had nothing (entries age out of
+// a small ring long before the incident's bundle does). A 404 from
+// both is "no spans" (nil error); transport failures are unreachable.
+func (a *Aggregator) memberTrace(m *member, traceID string) ([]TimelineSpan, error) {
+	body, err := a.get(m.info.Addr, "/trace/"+traceID)
+	if err == nil {
+		var raw []flexSpan
+		if jerr := json.Unmarshal(body, &raw); jerr != nil {
+			return nil, jerr
+		}
+		out := make([]TimelineSpan, 0, len(raw))
+		for _, f := range raw {
+			out = append(out, f.normalize(m, "trace", traceID))
+		}
+		return out, nil
+	}
+	var herr *httpStatusError
+	if !errors.As(err, &herr) {
+		return nil, err // transport failure: member unreachable
+	}
+	if herr.status != http.StatusNotFound {
+		// 400s mean the member rejected the ID; the handler validated it
+		// already, so treat anything else as that member misbehaving.
+		return nil, err
+	}
+	// Live ring empty; try the postmortem bundle.
+	bundle, err := getJSON[obs.Bundle](a, m.info.Addr, "/postmortem/"+traceID)
+	if err != nil {
+		var herr *httpStatusError
+		if errors.As(err, &herr) {
+			return nil, nil // no bundle either: genuinely no data
+		}
+		return nil, err
+	}
+	out := make([]TimelineSpan, 0, len(bundle.Entries))
+	for _, e := range bundle.Entries {
+		t := e.Time
+		out = append(out, TimelineSpan{
+			Member:     m.info.Addr,
+			Component:  m.info.Component,
+			Source:     "postmortem",
+			Kind:       string(e.Kind),
+			Trace:      traceID,
+			Verb:       e.Verb,
+			Depot:      e.Depot,
+			Time:       t,
+			DurationNS: e.LatencyNS,
+			Bytes:      e.Bytes,
+			Outcome:    e.Outcome,
+			Err:        e.Err,
+			Msg:        e.Msg,
+		})
+	}
+	return out, nil
+}
+
+// FleetTraceHandler serves /fleet/trace/<id>: 400 on a malformed trace
+// ID, 404 when the whole (reachable) fleet has nothing, 200 otherwise —
+// with partial=true when silent members mean the timeline may be
+// incomplete.
+func (a *Aggregator) FleetTraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/fleet/trace/")
+		if !obs.ValidTraceID(id) {
+			http.Error(w, "want /fleet/trace/<traceID> (hex)", http.StatusBadRequest)
+			return
+		}
+		ft := a.AssembleTrace(id)
+		if len(ft.Spans) == 0 && !ft.Partial {
+			// Every member answered and none had the trace: unknown ID.
+			http.Error(w, "no spans retained anywhere for trace "+id, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ft) //nolint:errcheck // client went away
+	})
+}

@@ -44,6 +44,10 @@ func (d *Daemon) PromMetrics() []obs.Metric {
 	if d.cfg.SLO != nil {
 		ms = append(ms, d.cfg.SLO.Metrics()...)
 	}
+	ms = append(ms, obs.ProcessMetrics("maintaind", d.clock.Now, d.started)...)
+	if d.cfg.Recorder != nil {
+		ms = append(ms, d.cfg.Recorder.RingMetrics()...)
+	}
 	return append(ms, obs.RuntimeMetrics()...)
 }
 
@@ -66,6 +70,10 @@ func (d *Daemon) ObsMux() *http.ServeMux {
 	}))
 	if d.cfg.SLO != nil {
 		mux.Handle("/slo", d.cfg.SLO.Handler())
+	}
+	if d.cfg.Recorder != nil {
+		mux.Handle("/trace/", obs.TraceJSONHandler(d.cfg.Recorder))
+		mux.Handle("/postmortem/", obs.PostmortemHandler(d.cfg.Recorder, "maintaind", d.clock.Now))
 	}
 	return mux
 }

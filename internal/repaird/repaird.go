@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/slo"
 	"repro/internal/transfer"
@@ -85,6 +86,10 @@ type Config struct {
 	// SLO, when set, receives one durability verdict per scanned file,
 	// keyed by this daemon's shard.
 	SLO *slo.Engine
+	// Recorder, when set, gives the daemon a flight ring: its ObsMux then
+	// serves /trace/<id> and /postmortem/<trace> so fleet trace assembly
+	// (internal/obsfleet) can include maintenance spans.
+	Recorder *obs.FlightRecorder
 	// Logger (default: discard).
 	Logger *slog.Logger
 }
@@ -108,10 +113,11 @@ type Counters struct {
 
 // Daemon is one member of the maintenance fleet.
 type Daemon struct {
-	cfg   Config
-	clock vclock.Clock
-	q     *queue
-	lim   *transfer.Engine // pass-level per-depot repair limiter
+	cfg     Config
+	clock   vclock.Clock
+	started time.Time
+	q       *queue
+	lim     *transfer.Engine // pass-level per-depot repair limiter
 
 	mu sync.Mutex
 	c  Counters
@@ -158,9 +164,10 @@ func New(cfg Config) (*Daemon, error) {
 		clk = vclock.Real()
 	}
 	return &Daemon{
-		cfg:   cfg,
-		clock: clk,
-		q:     newQueue(),
+		cfg:     cfg,
+		clock:   clk,
+		started: clk.Now(),
+		q:       newQueue(),
 		lim: transfer.New(transfer.Config{
 			MaxPerDepot: cfg.MaxRepairPerDepot,
 			Clock:       clk,

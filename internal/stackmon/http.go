@@ -55,6 +55,7 @@ func (m *Monitor) PromMetrics() []obs.Metric {
 	}
 	ms = append(ms, m.latencyHistograms()...)
 	ms = append(ms, m.cfg.SLO.Metrics()...)
+	ms = append(ms, obs.ProcessMetrics("stackmon", m.clock.Now, m.started)...)
 	return append(ms, obs.RuntimeMetrics()...)
 }
 
