@@ -29,7 +29,7 @@ race:
 		repro/internal/depot repro/internal/lbone repro/internal/obs \
 		repro/internal/transfer repro/internal/faultnet repro/internal/stackmon \
 		repro/internal/slo repro/internal/registry repro/internal/repaird \
-		repro/internal/obsfleet
+		repro/internal/obsfleet repro/internal/tsdb
 
 # End-to-end transfer benchmarks → BENCH_upload_download.json
 # (ns/op and MB/s per bench; raw bench log stays on stderr), plus the
@@ -121,10 +121,17 @@ registry-smoke:
 # endpoints; obsd discovers them via CLIST and must (a) mirror the
 # harness's burn-rate alert in /fleet/slo, (b) join one download's trace
 # across >= 3 daemons, (c) expose a histogram exemplar that resolves back
-# through /fleet/trace, and (d) capture a pprof profile next to the
-# postmortem bundle when the alert fires. Artifacts (FLEET_report.json,
-# FLEET_report.md, PROFILE_*, POSTMORTEM_*) land in obsd-smoke/ for CI.
+# through /fleet/trace, (d) capture a pprof profile next to the
+# postmortem bundle when the alert fires, (e) land the operator report,
+# (f) answer /fleet/query with a nonzero error rate over exactly the
+# scripted outage window (vclock-pinned) and zero outside it, (g) report
+# a /fleet/budget verdict that fails mid-outage — naming the onset as
+# the worst burn window — and passes post-recovery, (h) attribute the
+# outage tail to the killed depot via /fleet/attribution, and (i) flush
+# a FLEET_budget.json that parses back with the live verdicts.
+# Artifacts (FLEET_report.json/.md, FLEET_budget.json,
+# FLEET_attribution.json, PROFILE_*, POSTMORTEM_*) land in obsd-smoke/.
 obsd-smoke:
 	OBSD_SMOKE_DIR=$(CURDIR)/obsd-smoke go test -count=1 \
 		-run TestObsdFleetSmoke ./internal/obsfleet/
-	@echo "wrote obsd-smoke/FLEET_report.json (fleet operator report)"
+	@echo "wrote obsd-smoke/FLEET_report.json, FLEET_budget.json, FLEET_attribution.json"

@@ -8,19 +8,33 @@
 //	/fleet/slo          every member's SLO snapshot + firing alerts
 //	/fleet/report       operator report (JSON; ?format=md for markdown)
 //	/fleet/trace/<id>   a cross-daemon trace joined into one timeline
+//	/fleet/query        window functions over the retained fleet series
+//	/fleet/series       time-series inventory + drop accounting
+//	/fleet/budget       error-budget ledger with a pass|fail verdict
+//	/fleet/attribution  per-layer/per-depot tail-latency breakdown
 //	/healthz            liveness
+//
+// Every sweep also appends one sample per canonical fleet series into a
+// bounded in-memory time-series store (-retention clamps how far back
+// queries reach), so burn history survives between scrapes without any
+// external TSDB.
 //
 // When a member's burn-rate alert transitions to firing, obsd captures
 // that member's pprof heap (and optionally CPU) profiles into
 // -profile-dir, alongside wherever postmortem bundles land.
 //
+// On SIGTERM/SIGINT obsd shuts down gracefully: it flushes the budget
+// ledger (-budget-out) and operator report (-report-out) to disk and
+// deregisters its own control endpoint before exiting.
+//
 // Usage:
 //
 //	obsd -lbone r1:6767,r2:6767,r3:6767 -listen :9790 \
-//	     -interval 15s -profile-dir /var/obsd/profiles -cpu-seconds 5
+//	     -interval 15s -retention 24h -budget-out FLEET_budget.json
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"log"
@@ -53,6 +67,9 @@ func run(args []string) error {
 		listen        = fs.String("listen", ":9790", "serve the fleet view on this address")
 		interval      = fs.Duration("interval", 15*time.Second, "sweep cadence")
 		scrapeTimeout = fs.Duration("scrape-timeout", 10*time.Second, "per-member request timeout")
+		retention     = fs.Duration("retention", 24*time.Hour, "fleet time-series retention: /fleet/query windows are clamped to this")
+		budgetOut     = fs.String("budget-out", "", "write the error-budget ledger (FLEET_budget.json) here on shutdown (empty = off)")
+		reportOut     = fs.String("report-out", "", "write the operator report (FLEET_report.json) here on shutdown (empty = off)")
 		profileDir    = fs.String("profile-dir", "", "capture alert-triggered pprof profiles into this directory (empty = off)")
 		cpuSeconds    = fs.Int("cpu-seconds", 0, "CPU profile length for alert-triggered capture (0 = heap only)")
 		pprofOn       = fs.Bool("pprof", false, "also serve /debug/pprof on the listener")
@@ -65,12 +82,15 @@ func run(args []string) error {
 	cfg := obsfleet.Config{
 		Interval:          *interval,
 		ScrapeTimeout:     *scrapeTimeout,
+		Retention:         *retention,
 		ProfileDir:        *profileDir,
 		CPUProfileSeconds: *cpuSeconds,
 		Logger:            logger,
 	}
+	var ctl *lbone.Client
 	if *lboneAddr != "" {
-		cfg.Source = lbone.NewClient(*lboneAddr)
+		ctl = lbone.NewClient(*lboneAddr)
+		cfg.Source = ctl
 	}
 	for _, addr := range strings.Split(*staticMembers, ",") {
 		if addr = strings.TrimSpace(addr); addr != "" {
@@ -94,7 +114,7 @@ func run(args []string) error {
 	}
 	go func() {
 		log.Printf("fleet view on http://%s/fleet/report", ln.Addr())
-		if err := http.Serve(ln, mux); err != nil {
+		if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
 			log.Printf("listener: %v", err)
 		}
 	}()
@@ -108,8 +128,47 @@ func run(args []string) error {
 		close(stop)
 	}()
 
-	log.Printf("sweeping every %v", *interval)
+	// obsd is a fleet member too: announce its own control endpoint so a
+	// peer aggregator (or a fleet of one pane each) can scrape it.
+	selfAddr := lbone.AdvertisedControlAddr(ln.Addr().String())
+	if ctl != nil {
+		go ctl.AnnounceControl(lbone.ControlInfo{
+			Addr: selfAddr, Component: "obsd", Name: "obsd",
+		}, *interval, logger, stop)
+	}
+
+	log.Printf("sweeping every %v (retention %v)", *interval, *retention)
 	agg.Run(stop)
+
+	// Graceful shutdown: flush the shutdown artifacts, deregister, close.
+	if *budgetOut != "" {
+		if err := agg.WriteBudget(*budgetOut); err != nil {
+			log.Printf("budget flush: %v", err)
+		} else {
+			log.Printf("budget ledger written to %s", *budgetOut)
+		}
+	}
+	if *reportOut != "" {
+		if err := writeReport(agg, *reportOut); err != nil {
+			log.Printf("report flush: %v", err)
+		} else {
+			log.Printf("fleet report written to %s", *reportOut)
+		}
+	}
+	if ctl != nil {
+		if err := ctl.DeregisterControl(selfAddr); err != nil {
+			log.Printf("deregister: %v", err)
+		}
+	}
 	ln.Close()
 	return nil
+}
+
+// writeReport renders the operator report as JSON into path.
+func writeReport(agg *obsfleet.Aggregator, path string) error {
+	data, err := json.MarshalIndent(agg.FleetReport(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -296,6 +296,58 @@ func TestAlertTriggeredProfileCapture(t *testing.T) {
 	}
 }
 
+// TestMemberRestartDetection: a member whose process_uptime_seconds goes
+// backwards between sweeps restarted — obsd counts the verdict once per
+// drop, exposes it as fleet_member_restarts_total, and records both the
+// uptime gauge and the restart counter into the time-series store so the
+// per-series counter-reset accounting has something to corroborate.
+func TestMemberRestartDetection(t *testing.T) {
+	var mu sync.Mutex
+	uptime := 100.0
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(func() []obs.Metric {
+		mu.Lock()
+		defer mu.Unlock()
+		return []obs.Metric{{Name: "process_uptime_seconds", Type: "gauge",
+			Help: "Seconds since start.", Value: uptime}}
+	}))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	addr := addrOf(srv)
+	setUptime := func(v float64) { mu.Lock(); uptime = v; mu.Unlock() }
+
+	a := New(Config{Static: []lbone.ControlInfo{ctrl(srv, "xnd", "restarter")}})
+	a.Sweep() // baseline
+	setUptime(150)
+	a.Sweep() // uptime grew: not a restart
+	if strings.Contains(a.Exposition(), "fleet_member_restarts_total") {
+		t.Fatal("restart counter exposed before any restart")
+	}
+	setUptime(5)
+	a.Sweep() // uptime dropped: the process restarted in between
+	setUptime(60)
+	a.Sweep() // growing again: still just the one restart
+
+	want := fmt.Sprintf("fleet_member_restarts_total{member=%q} 1", addr)
+	if expo := a.Exposition(); !strings.Contains(expo, want) {
+		t.Errorf("exposition missing %q:\n%s", want, expo)
+	}
+
+	// The store retains the verdict as a counter series and the raw
+	// uptime gauge it was derived from.
+	views := a.Store().Select("fleet_member_restarts_total", nil)
+	if len(views) != 1 || views[0].Points[len(views[0].Points)-1].V != 1 {
+		t.Fatalf("restart counter series wrong: %+v", views)
+	}
+	up := a.Store().Select("member_uptime_seconds", nil)
+	if len(up) != 1 || len(up[0].Points) != 4 {
+		t.Fatalf("uptime series wrong: %+v", up)
+	}
+	if up[0].Resets != 1 {
+		t.Errorf("uptime series saw %d resets, want 1 (the drop 150 -> 5)", up[0].Resets)
+	}
+}
+
 // TestScrapeRaceAgainstLiveCollector hammers a collector with traced
 // records while the aggregator scrapes its live /metrics: every scrape
 // must parse cleanly (no torn exposition) and the race detector must
@@ -345,4 +397,41 @@ func TestScrapeRaceAgainstLiveCollector(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestSelfScrapeDoesNotCompound pins the aggregator-feedback guard: obsd
+// announces its own control endpoint, so the fleet view includes the
+// aggregator itself. Its /metrics re-exposes fleet_ aggregates — if those
+// were re-ingested like member truth, every sweep would wrap them in one
+// more fleet_ prefix and the store would grow a fresh family per sweep.
+func TestSelfScrapeDoesNotCompound(t *testing.T) {
+	a := New(Config{})
+	srv := httptest.NewServer(a.Mux())
+	t.Cleanup(srv.Close)
+	// Point the aggregator at its own scrape surface, exactly what CLIST
+	// discovery does to a deployed obsd.
+	a.cfg.Static = []lbone.ControlInfo{ctrl(srv, "obsd", "self")}
+
+	for i := 0; i < 4; i++ {
+		a.Sweep()
+	}
+	for _, m := range a.Snapshot() {
+		if !m.up {
+			t.Fatalf("self scrape failed: %s", m.lastErr)
+		}
+	}
+	if exp := a.Exposition(); strings.Contains(exp, "fleet_fleet_") {
+		t.Fatalf("exposition re-wrapped aggregator families:\n%s", exp)
+	}
+	inv := a.Store().Inventory()
+	for _, sv := range inv.Series {
+		if strings.HasPrefix(sv.Name, "fleet_fleet_") {
+			t.Fatalf("store ingested a re-wrapped family %q", sv.Name)
+		}
+	}
+	// The guard must not starve the store: the self-member's own truth
+	// (obsd_* counters, process gauges) still lands as fleet_ rows.
+	if len(a.Store().Select("fleet_obsd_sweeps_total", nil)) == 0 {
+		t.Fatalf("self member's non-fleet families were dropped too; inventory: %d series", inv.SeriesCount)
+	}
 }

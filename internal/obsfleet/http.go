@@ -5,10 +5,13 @@ package obsfleet
 // scrape of obsd answers for the whole stack.
 
 import (
+	"encoding/json"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tsdb"
 )
 
 // Exposition renders the full scrape body: self metrics (via the shared
@@ -22,8 +25,9 @@ func (a *Aggregator) Exposition() string {
 }
 
 // Mux returns obsd's HTTP surface: GET /metrics, GET /healthz, GET
-// /fleet/slo, GET /fleet/report (JSON, ?format=md for markdown), and
-// GET /fleet/trace/<traceID>.
+// /fleet/slo, GET /fleet/report (JSON, ?format=md for markdown), GET
+// /fleet/trace/<traceID>, GET /fleet/query, GET /fleet/series, GET
+// /fleet/budget, and GET /fleet/attribution.
 func (a *Aggregator) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -35,5 +39,81 @@ func (a *Aggregator) Mux() *http.ServeMux {
 	mux.Handle("/fleet/slo", a.FleetSLOHandler())
 	mux.Handle("/fleet/report", a.FleetReportHandler())
 	mux.Handle("/fleet/trace/", a.FleetTraceHandler())
+	mux.Handle("/fleet/query", a.FleetQueryHandler())
+	mux.Handle("/fleet/series", a.FleetSeriesHandler())
+	mux.Handle("/fleet/budget", a.FleetBudgetHandler())
+	mux.Handle("/fleet/attribution", a.FleetAttributionHandler())
 	return mux
+}
+
+// QueryResponse is the /fleet/query document.
+type QueryResponse struct {
+	Expr    string        `json:"expr"`
+	At      time.Time     `json:"at"`
+	Window  string        `json:"window"`
+	Results []tsdb.Result `json:"results"`
+}
+
+// FleetQueryHandler serves GET /fleet/query?expr=<fn(selector)>&window=
+// <dur>[&at=<RFC3339>]: the expression evaluated over the trailing
+// window ending at `at` (default: the aggregator's clock now — passing
+// an explicit at makes queries reproducible on a virtual clock).
+func (a *Aggregator) FleetQueryHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		expr, err := tsdb.ParseExpr(q.Get("expr"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		window := time.Hour
+		if ws := q.Get("window"); ws != "" {
+			window, err = time.ParseDuration(ws)
+			if err != nil || window <= 0 {
+				http.Error(w, "bad window (want a positive Go duration)", http.StatusBadRequest)
+				return
+			}
+		}
+		at := a.clock.Now()
+		if ats := q.Get("at"); ats != "" {
+			at, err = time.Parse(time.RFC3339, ats)
+			if err != nil {
+				http.Error(w, "bad at (want RFC3339)", http.StatusBadRequest)
+				return
+			}
+		}
+		results, err := a.store.Query(expr, at, window)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, QueryResponse{
+			Expr: q.Get("expr"), At: at, Window: window.String(), Results: results,
+		})
+	})
+}
+
+// FleetSeriesHandler serves GET /fleet/series: the store's series
+// inventory (no points) plus drop/refusal/reset accounting.
+func (a *Aggregator) FleetSeriesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, a.store.Inventory())
+	})
+}
+
+// writeJSON renders one indented JSON document.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
 }

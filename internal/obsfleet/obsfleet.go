@@ -26,12 +26,14 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/lbone"
 	"repro/internal/obs"
 	"repro/internal/slo"
+	"repro/internal/tsdb"
 	"repro/internal/vclock"
 )
 
@@ -67,6 +69,9 @@ type Config struct {
 	// (default 0: heap only — CPU capture blocks the sweep for its
 	// duration, so it is opt-in).
 	CPUProfileSeconds int
+	// Retention clamps the fleet time-series store's query windows
+	// (default 24h); each sweep appends one sample per retained series.
+	Retention time.Duration
 	// Logger (default: discard).
 	Logger *slog.Logger
 }
@@ -89,6 +94,7 @@ type Aggregator struct {
 	clock   vclock.Clock
 	client  *http.Client
 	started time.Time
+	store   *tsdb.Store
 
 	mu         sync.Mutex
 	members    map[string]*member // by control address
@@ -98,6 +104,9 @@ type Aggregator struct {
 	listErrs   uint64
 	profiles   []CapturedProfile
 	profileSeq uint64
+	uptime     map[string]float64 // member addr -> last process_uptime_seconds
+	restarts   map[string]uint64  // member addr -> restarts detected
+	attr       *attribution
 }
 
 // New builds an Aggregator.
@@ -118,13 +127,21 @@ func New(cfg Config) *Aggregator {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	return &Aggregator{
-		cfg:     cfg,
-		clock:   cfg.Clock,
-		client:  cfg.Client,
-		started: cfg.Clock.Now(),
-		members: make(map[string]*member),
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		client:   cfg.Client,
+		started:  cfg.Clock.Now(),
+		store:    tsdb.New(tsdb.Config{Retention: cfg.Retention}),
+		members:  make(map[string]*member),
+		uptime:   make(map[string]float64),
+		restarts: make(map[string]uint64),
+		attr:     newAttribution(),
 	}
 }
+
+// Store exposes the fleet time-series store (read-only use: queries and
+// the budget ledger both go through it).
+func (a *Aggregator) Store() *tsdb.Store { return a.store }
 
 // Run sweeps on the configured interval until stop closes. The clock is
 // injected, so a virtual-time harness drives cadence deterministically.
@@ -189,6 +206,16 @@ func (a *Aggregator) Sweep() {
 	for _, f := range fired {
 		a.captureProfiles(f.m, f.key)
 	}
+
+	// Persist this sweep into the time-series store and run the
+	// tail-latency attribution pass over any newly sampled traces.
+	view := make([]*member, 0, len(fresh))
+	for _, m := range fresh {
+		view = append(view, m)
+	}
+	sort.Slice(view, func(i, j int) bool { return view[i].info.Addr < view[j].info.Addr })
+	a.record(a.clock.Now(), view)
+	a.attributeSweep(view)
 }
 
 // discover merges the registry's control table with the static member
@@ -240,6 +267,7 @@ func (a *Aggregator) scrapeMember(info lbone.ControlInfo) *member {
 		m.lastErr = fmt.Sprintf("parse /metrics: %v", err)
 		return m
 	}
+	dropAggregatorFamilies(sr)
 	m.up = true
 	m.scrape = sr
 	m.lastScrape = a.clock.Now()
@@ -254,6 +282,32 @@ func (a *Aggregator) scrapeMember(info lbone.ControlInfo) *member {
 		}
 	}
 	return m
+}
+
+// dropAggregatorFamilies strips fleet_-prefixed families from a scrape.
+// obsd announces its own control endpoint (operators should see it in
+// CLIST), so an aggregator ends up scraping itself — and any fleet_ row
+// it re-ingested would be re-exposed with one more fleet_ prefix next
+// sweep, compounding into unbounded series growth. The fleet_ namespace
+// belongs to aggregators alone; member truth never carries it.
+func dropAggregatorFamilies(sr *scrapeResult) {
+	kept := sr.samples[:0]
+	for _, s := range sr.samples {
+		if !strings.HasPrefix(s.name, "fleet_") {
+			kept = append(kept, s)
+		}
+	}
+	sr.samples = kept
+	for name := range sr.types {
+		if strings.HasPrefix(name, "fleet_") {
+			delete(sr.types, name)
+		}
+	}
+	for name := range sr.help {
+		if strings.HasPrefix(name, "fleet_") {
+			delete(sr.help, name)
+		}
+	}
 }
 
 // alertKey identifies one burn-rate rule instance across sweeps.
@@ -311,6 +365,10 @@ func (a *Aggregator) SelfMetrics() []obs.Metric {
 	for _, m := range a.members {
 		members = append(members, m)
 	}
+	restarts := make(map[string]uint64, len(a.restarts))
+	for addr, n := range a.restarts {
+		restarts[addr] = n
+	}
 	a.mu.Unlock()
 	sort.Slice(members, func(i, j int) bool { return members[i].info.Addr < members[j].info.Addr })
 
@@ -335,6 +393,19 @@ func (a *Aggregator) SelfMetrics() []obs.Metric {
 				{Name: "member", Value: m.info.Addr},
 				{Name: "component", Value: m.info.Component},
 			},
+		})
+	}
+	addrs := make([]string, 0, len(restarts))
+	for addr := range restarts {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		ms = append(ms, obs.Metric{
+			Name: "fleet_member_restarts_total", Type: "counter",
+			Help:   "Member process restarts detected by the aggregator (process_uptime_seconds went backwards).",
+			Value:  float64(restarts[addr]),
+			Labels: []obs.Label{{Name: "member", Value: addr}},
 		})
 	}
 	ms = append(ms, obs.ProcessMetrics("obsd", a.clock.Now, a.started)...)

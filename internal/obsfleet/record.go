@@ -1,0 +1,131 @@
+package obsfleet
+
+// The sweep-to-tsdb bridge: every sweep appends one sample per canonical
+// fleet series into the aggregator's bounded time-series store, so the
+// paper's availability arguments ("the depot was down for exactly this
+// window") can be asked of obsd directly instead of reconstructed from
+// logs. Three families are retained:
+//
+//   - fleet_<name>: every fleet-aggregate row (the same sums /metrics
+//     re-exposes), one series per canonical label set;
+//   - per-member series kept deliberately narrow — up, member_uptime_
+//     seconds, and the slo_sli_good_total/slo_sli_bad_total counters that
+//     feed the error-budget ledger — each with an injected member label,
+//     so per-member cardinality stays bounded by the SLO key space, not
+//     the full scrape;
+//   - fleet_member_restarts_total: obsd's own verdict that a member's
+//     process restarted (its process_uptime_seconds went backwards),
+//     which the counter-reset logic downstream corroborates per series.
+
+import (
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// memberSeries are the member /metrics names recorded per member (with
+// an injected member label) in addition to the fleet aggregates.
+var memberSeries = map[string]bool{
+	"slo_sli_good_total": true,
+	"slo_sli_bad_total":  true,
+}
+
+// record appends this sweep's samples at time now. members is the fresh
+// sweep view, address-sorted.
+func (a *Aggregator) record(now time.Time, members []*member) {
+	if a.store == nil {
+		return
+	}
+	var samples []tsdb.Sample
+
+	// Fleet aggregates: what /metrics re-exposes, retained over time.
+	rows, _, _ := fleetAggregate(members)
+	for _, r := range rows {
+		samples = append(samples, tsdb.Sample{
+			Name:   "fleet_" + r.name,
+			Labels: convLabels(r.labels, "", ""),
+			Value:  r.value,
+		})
+	}
+
+	for _, m := range members {
+		addr := m.info.Addr
+		up := 0.0
+		if m.up {
+			up = 1.0
+		}
+		samples = append(samples, tsdb.Sample{
+			Name:   "up",
+			Labels: convLabels(nil, addr, m.info.Component),
+			Value:  up,
+		})
+		if m.scrape == nil {
+			continue
+		}
+		for _, s := range m.scrape.samples {
+			switch {
+			case memberSeries[s.name]:
+				samples = append(samples, tsdb.Sample{
+					Name:   s.name,
+					Labels: convLabels(s.labels, addr, ""),
+					Value:  s.value,
+				})
+			case s.name == "process_uptime_seconds":
+				a.noteUptime(addr, s.value)
+				samples = append(samples, tsdb.Sample{
+					Name:   "member_uptime_seconds",
+					Labels: convLabels(nil, addr, ""),
+					Value:  s.value,
+				})
+			}
+		}
+	}
+
+	// Restart verdicts, one counter series per member ever seen.
+	a.mu.Lock()
+	for addr, n := range a.restarts {
+		samples = append(samples, tsdb.Sample{
+			Name:   "fleet_member_restarts_total",
+			Labels: convLabels(nil, addr, ""),
+			Value:  float64(n),
+		})
+	}
+	a.mu.Unlock()
+
+	a.store.Append(now, samples)
+}
+
+// noteUptime compares a member's reported process uptime against the
+// previous sweep's: a drop means the process restarted in between.
+func (a *Aggregator) noteUptime(addr string, uptime float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.uptime[addr]; ok && uptime < prev {
+		a.restarts[addr]++
+		a.cfg.Logger.Info("member restart detected",
+			"member", addr, "uptime_before", prev, "uptime_after", uptime)
+	}
+	a.uptime[addr] = uptime
+}
+
+// convLabels converts parsed scrape labels to tsdb labels, optionally
+// injecting member/component labels, and keeps the result canonical
+// (sorted by name) for series interning.
+func convLabels(ls []label, memberAddr, component string) []tsdb.Label {
+	out := make([]tsdb.Label, 0, len(ls)+2)
+	for _, l := range ls {
+		out = append(out, tsdb.Label{Name: l.name, Value: l.value})
+	}
+	if component != "" {
+		out = append(out, tsdb.Label{Name: "component", Value: component})
+	}
+	if memberAddr != "" {
+		out = append(out, tsdb.Label{Name: "member", Value: memberAddr})
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: inputs are near-sorted
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -16,7 +16,18 @@ package obsfleet_test
 //	    trace ID resolves back through trace assembly;
 //	(d) the fired alert leaves a captured pprof profile next to the
 //	    postmortem bundle;
-//	(e) the operator report lands as FLEET_report.json for CI.
+//	(e) the operator report lands as FLEET_report.json for CI;
+//	(f) /fleet/query returns a nonzero error rate over exactly the
+//	    scripted outage window (vclock-pinned at parameter) and zero
+//	    before it, and /fleet/series inventories the retained series;
+//	(g) /fleet/budget reports verdict fail for the tight objective while
+//	    the outage burns, names the outage onset as the worst burn
+//	    window, and flips to pass over the post-recovery window;
+//	(h) /fleet/attribution pins the outage-window tail on the killed
+//	    depot (the client burns its dial timeout against it), in the
+//	    IBP exchange layer;
+//	(i) the shutdown flush path writes a FLEET_budget.json that parses
+//	    back with the same verdicts, plus an attribution snapshot.
 //
 // Data-plane traffic runs through faultnet on the virtual clock; the
 // observability plane (scrapes, control registration) runs over real
@@ -28,6 +39,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	neturl "net/url"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -47,6 +59,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/repaird"
 	"repro/internal/slo"
+	"repro/internal/tsdb"
 	"repro/internal/vclock"
 )
 
@@ -71,7 +84,6 @@ func TestObsdFleetSmoke(t *testing.T) {
 	clk := vclock.NewVirtual(smokeStart)
 	model := faultnet.NewModel(clk, 11)
 	model.SetDefaultLink(faultnet.Link{RTT: 40 * time.Millisecond, Mbps: 20})
-	model.SetLocalLink(faultnet.Link{RTT: time.Millisecond, Mbps: 100})
 
 	// --- Three registry replicas (real TCP, always up). ---
 	addrs := make([]string, 3)
@@ -118,6 +130,14 @@ func TestObsdFleetSmoke(t *testing.T) {
 	// --- Three depots; depot A dies for hours [1,3) of the run. ---
 	outageFrom := smokeStart.Add(time.Hour)
 	outageTo := smokeStart.Add(3 * time.Hour)
+	// Depot A shares the client's site, and its machine drops off the
+	// network for the same window: the client burns its dial timeout
+	// against it instead of getting a fast refusal, which is the wall
+	// time the tail-latency attribution pass must pin on the dead depot.
+	model.SetLocalLink(faultnet.Link{
+		RTT: time.Millisecond, Mbps: 100,
+		Avail: faultnet.Windows{Down: []faultnet.Window{{From: outageFrom, To: outageTo}}},
+	})
 	type depotBox struct {
 		info lbone.DepotInfo
 		ctrl string
@@ -185,6 +205,7 @@ func TestObsdFleetSmoke(t *testing.T) {
 	harnessMux := http.NewServeMux()
 	harnessMux.Handle("/metrics", obs.MetricsHandler(func() []obs.Metric {
 		ms := coll.CollectorMetrics("ibp_client_")
+		ms = append(ms, engine.Metrics()...)
 		ms = append(ms, rec.RingMetrics()...)
 		ms = append(ms, obs.ProcessMetrics("xnd", clk.Now, harnessStart)...)
 		return append(ms, obs.RuntimeMetrics()...)
@@ -221,7 +242,7 @@ func TestObsdFleetSmoke(t *testing.T) {
 
 	// --- The aggregator discovers everything through CLIST. ---
 	agg := obsfleet.New(obsfleet.Config{
-		Source: ctl, Clock: clk, ProfileDir: artDir,
+		Source: ctl, Clock: clk, ProfileDir: artDir, Retention: 24 * time.Hour,
 	})
 
 	// Phase A: healthy upload, striped over all three depots with two
@@ -258,10 +279,19 @@ func TestObsdFleetSmoke(t *testing.T) {
 		t.Fatalf("healthy sweep captured profiles: %+v", got)
 	}
 
+	// Two more healthy sweeps: one mid-baseline and one pinned exactly at
+	// the outage boundary, so window queries over [outageFrom, outageTo]
+	// hold a pre-burn sample and can witness the onset delta.
+	clk.Advance(30 * time.Minute)
+	agg.Sweep()
+	clk.Advance(30 * time.Minute) // at the outage boundary
+	onsetSweepAt := clk.Now()
+	agg.Sweep()
+
 	// Phase B: into the outage. The download must survive on failovers
 	// while the client's SLO engine burns through its error budget on
 	// the dead depot.
-	clk.Advance(90 * time.Minute)
+	clk.Advance(30 * time.Minute)
 	root := obs.NewRootSpan()
 	got, rep, err := tl.Download(x, core.DownloadOptions{Strategy: core.StrategyStatic, Span: root})
 	if err != nil {
@@ -272,6 +302,12 @@ func TestObsdFleetSmoke(t *testing.T) {
 	}
 	if rep.Failovers == 0 {
 		t.Fatal("expected failovers onto surviving replicas")
+	}
+	// The monitor keeps probing the dead depot throughout the outage;
+	// every probe is a bad SLI event on its key (the stackmon feed,
+	// collapsed into the harness engine for determinism).
+	for i := 0; i < 30; i++ {
+		engine.Record(slo.IBPOps, dead.info.Addr, false)
 	}
 	st := engine.Snapshot()
 	var firing []slo.Alert
@@ -296,6 +332,7 @@ func TestObsdFleetSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	midSweepAt := clk.Now()
 	agg.Sweep()
 
 	// (a) /fleet/slo matches the harness's own SLI view: same firing
@@ -410,6 +447,202 @@ func TestObsdFleetSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("fleet report written to %s", filepath.Join(artDir, "FLEET_report.json"))
+
+	// Phase C: deeper into the outage the monitor keeps burning bad
+	// events against the dead depot; another sweep retains the history.
+	clk.Advance(time.Hour)
+	for i := 0; i < 30; i++ {
+		engine.Record(slo.IBPOps, dead.info.Addr, false)
+	}
+	agg.Sweep()
+
+	// Phase D: recovery. Past outageTo the depot (and its link) are back:
+	// a fresh download succeeds and the monitor's probes against the
+	// revived depot go good again, across two sweeps.
+	clk.Advance(time.Hour)
+	root2 := obs.NewRootSpan()
+	got2, _, err := tl.Download(x, core.DownloadOptions{Strategy: core.StrategyStatic, Span: root2})
+	if err != nil {
+		t.Fatalf("post-recovery download: %v", err)
+	}
+	if !bytes.Equal(got2, data) {
+		t.Fatal("post-recovery download content mismatch")
+	}
+	for i := 0; i < 30; i++ {
+		engine.Record(slo.IBPOps, dead.info.Addr, true)
+	}
+	agg.Sweep()
+	clk.Advance(30 * time.Minute)
+	for i := 0; i < 30; i++ {
+		engine.Record(slo.IBPOps, dead.info.Addr, true)
+	}
+	recoveredAt := clk.Now()
+	agg.Sweep()
+
+	// (f) /fleet/query: the burn history, vclock-pinned. Zero bad rate
+	// over the baseline hour, a nonzero rate on the dead depot's key over
+	// exactly the scripted outage window, zero again after recovery.
+	badRates := func(at time.Time, window time.Duration) map[string]float64 {
+		t.Helper()
+		expr := fmt.Sprintf(`rate(slo_sli_bad_total{member=%q})`, harnessAddr)
+		var qr obsfleet.QueryResponse
+		getInto(t, fmt.Sprintf("%s/fleet/query?expr=%s&at=%s&window=%s",
+			ui.URL, neturl.QueryEscape(expr),
+			neturl.QueryEscape(at.Format(time.RFC3339Nano)), window), &qr)
+		out := map[string]float64{}
+		for _, r := range qr.Results {
+			for _, l := range r.Labels {
+				if l.Name == "key" {
+					out[l.Value] = r.Value
+				}
+			}
+		}
+		return out
+	}
+	before := badRates(outageFrom, time.Hour)
+	if len(before) == 0 {
+		t.Fatal("no bad-rate series retained over the baseline window")
+	}
+	for key, r := range before {
+		if r != 0 {
+			t.Errorf("baseline bad rate on %s = %v, want 0", key, r)
+		}
+	}
+	during := badRates(outageTo, outageTo.Sub(outageFrom))
+	if during[dead.info.Addr] <= 0 {
+		t.Errorf("outage-window bad rate on the dead depot = %v, want > 0 (all rates: %v)",
+			during[dead.info.Addr], during)
+	}
+	for key, r := range during {
+		if key != dead.info.Addr && r != 0 {
+			t.Errorf("outage-window bad rate on survivor %s = %v, want 0", key, r)
+		}
+	}
+	for key, r := range badRates(recoveredAt, recoveredAt.Sub(outageTo)) {
+		if r != 0 {
+			t.Errorf("post-recovery bad rate on %s = %v, want 0", key, r)
+		}
+	}
+	var inv tsdb.Inventory
+	getInto(t, ui.URL+"/fleet/series", &inv)
+	if inv.SeriesCount == 0 || len(inv.Series) != inv.SeriesCount {
+		t.Fatalf("series inventory inconsistent: count %d over %d entries", inv.SeriesCount, len(inv.Series))
+	}
+	var haveBad, haveFleet bool
+	for _, s := range inv.Series {
+		haveBad = haveBad || s.Name == "slo_sli_bad_total"
+		haveFleet = haveFleet || strings.HasPrefix(s.Name, "fleet_")
+	}
+	if !haveBad || !haveFleet {
+		t.Errorf("inventory missing expected families (slo_sli_bad_total=%v fleet_*=%v)", haveBad, haveFleet)
+	}
+
+	// (g) /fleet/budget: fail while the outage burned, with the onset
+	// step as the worst burn window; pass over the post-recovery window.
+	findObj := func(rep obsfleet.BudgetReport) obsfleet.BudgetObjective {
+		t.Helper()
+		for _, o := range rep.Objectives {
+			if o.Name == "ibp-op-errors" {
+				return o
+			}
+		}
+		t.Fatalf("objective ibp-op-errors missing from ledger: %+v", rep.Objectives)
+		return obsfleet.BudgetObjective{}
+	}
+	var burning obsfleet.BudgetReport
+	getInto(t, fmt.Sprintf("%s/fleet/budget?at=%s&window=90m", ui.URL,
+		neturl.QueryEscape(midSweepAt.Format(time.RFC3339Nano))), &burning)
+	if burning.Verdict != "fail" {
+		t.Errorf("mid-outage fleet budget verdict = %q, want fail", burning.Verdict)
+	}
+	bObj := findObj(burning)
+	if bObj.Verdict != "fail" || bObj.Consumed <= 1 {
+		t.Errorf("mid-outage objective verdict = %q consumed %v, want fail with consumed > 1",
+			bObj.Verdict, bObj.Consumed)
+	}
+	if bObj.Worst == nil || !bObj.Worst.From.Equal(onsetSweepAt) || !bObj.Worst.To.Equal(midSweepAt) {
+		t.Errorf("worst burn window = %+v, want the outage onset step [%v, %v]",
+			bObj.Worst, onsetSweepAt, midSweepAt)
+	}
+	var recovered obsfleet.BudgetReport
+	getInto(t, fmt.Sprintf("%s/fleet/budget?at=%s&window=%s", ui.URL,
+		neturl.QueryEscape(recoveredAt.Format(time.RFC3339Nano)), recoveredAt.Sub(outageTo)), &recovered)
+	if recovered.Verdict != "pass" {
+		t.Errorf("post-recovery fleet budget verdict = %q, want pass", recovered.Verdict)
+	}
+	if rObj := findObj(recovered); rObj.Verdict != "pass" || rObj.Good == 0 {
+		t.Errorf("post-recovery objective verdict = %q (good %v), want pass on real traffic",
+			rObj.Verdict, rObj.Good)
+	}
+
+	// (h) /fleet/attribution: the outage trace's tail belongs to the dead
+	// depot — the client burned its dial timeout against it — inside the
+	// IBP exchange layer.
+	var attr obsfleet.AttributionReport
+	getInto(t, ui.URL+"/fleet/attribution", &attr)
+	if attr.Traces == 0 {
+		t.Fatal("attribution retained no traces")
+	}
+	var ibpShare float64
+	for _, l := range attr.Layers {
+		if l.Layer == "ibp" {
+			ibpShare = l.P99Share
+		}
+	}
+	if ibpShare <= 0 {
+		t.Fatalf("ibp layer missing from attribution: %+v", attr.Layers)
+	}
+	var deadP99 float64 = -1
+	for _, d := range attr.Depots {
+		if d.Depot == dead.info.Addr {
+			deadP99 = d.P99Seconds
+		}
+	}
+	if deadP99 < 0 {
+		t.Fatalf("dead depot missing from attribution: %+v", attr.Depots)
+	}
+	if deadP99 < 1 {
+		t.Errorf("dead depot p99 busy = %vs, want >= 1s (the burned dial timeout)", deadP99)
+	}
+	for _, d := range attr.Depots {
+		if d.Depot != dead.info.Addr && d.P99Seconds >= deadP99 {
+			t.Errorf("depot %s p99 busy %vs >= dead depot %vs: tail misattributed",
+				d.Depot, d.P99Seconds, deadP99)
+		}
+	}
+
+	// (i) The shutdown flush: the budget ledger written to disk parses
+	// back with the verdicts the live endpoint serves, and the
+	// attribution snapshot lands beside it for CI.
+	budgetPath := filepath.Join(artDir, "FLEET_budget.json")
+	if err := agg.WriteBudget(budgetPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(budgetPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flushed obsfleet.BudgetReport
+	if err := json.Unmarshal(raw, &flushed); err != nil {
+		t.Fatalf("FLEET_budget.json does not parse: %v", err)
+	}
+	var live obsfleet.BudgetReport
+	getInto(t, ui.URL+"/fleet/budget", &live)
+	if flushed.Verdict != live.Verdict || len(flushed.Objectives) != len(live.Objectives) {
+		t.Errorf("flushed ledger disagrees with live endpoint: %q/%d vs %q/%d",
+			flushed.Verdict, len(flushed.Objectives), live.Verdict, len(live.Objectives))
+	}
+	if flushed.Verdict != "fail" {
+		t.Errorf("lifetime ledger verdict = %q, want fail (the outage torched the 0.9 objective)", flushed.Verdict)
+	}
+	attrJS, err := json.MarshalIndent(attr, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(artDir, "FLEET_attribution.json"), append(attrJS, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("budget ledger and attribution snapshot written to %s", artDir)
 }
 
 func getInto(t *testing.T, url string, out any) {

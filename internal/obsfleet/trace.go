@@ -39,6 +39,8 @@ type TimelineSpan struct {
 	Depot      string    `json:"depot,omitempty"`
 	Time       time.Time `json:"time"`
 	DurationNS int64     `json:"duration_ns,omitempty"`
+	QueueNS    int64     `json:"queue_ns,omitempty"`   // server-span: depot queue wait
+	BackendNS  int64     `json:"backend_ns,omitempty"` // server-span: storage backend time
 	Bytes      int64     `json:"bytes,omitempty"`
 	Outcome    string    `json:"outcome,omitempty"`
 	Err        string    `json:"err,omitempty"`
@@ -108,6 +110,8 @@ func (f flexSpan) normalize(m *member, source, traceID string) TimelineSpan {
 		ts.Span = f.Span
 		ts.Time = *f.Start
 		ts.DurationNS = f.TotalNS
+		ts.QueueNS = f.QueueWait
+		ts.BackendNS = f.Backend
 		ts.Depot = m.info.Name
 		switch {
 		case f.Violation:

@@ -20,6 +20,7 @@ package slo
 import (
 	"fmt"
 	"log/slog"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -466,16 +467,24 @@ type Status struct {
 	Firings    []Firing          `json:"firings,omitempty"`
 }
 
-// latQuantiles computes p50/p95/p99 over the retained latency ring.
+// latQuantiles estimates p50/p95/p99 over the retained latency ring by
+// bucketing the samples into the stack's shared latency bounds and
+// interpolating — the same estimator (stats.HistogramQuantile) the fleet
+// tsdb uses for quantile_over_time over scraped _bucket series, so a
+// member's /slo quantile and a fleet-level query agree on the number.
 func (s *series) latQuantiles() (p50, p95, p99 float64) {
-	n := len(s.lat)
-	if n == 0 {
+	if len(s.lat) == 0 {
 		return 0, 0, 0
 	}
-	sorted := make([]float64, n)
-	copy(sorted, s.lat)
-	sort.Float64s(sorted)
-	return stats.Percentile(sorted, 50), stats.Percentile(sorted, 95), stats.Percentile(sorted, 99)
+	bs := stats.CumulativeBuckets(obs.DefLatencyBounds, s.lat)
+	q := func(p float64) float64 {
+		v := stats.HistogramQuantile(p, bs)
+		if math.IsNaN(v) {
+			return 0
+		}
+		return v
+	}
+	return q(0.5), q(0.95), q(0.99)
 }
 
 // Snapshot evaluates the rules and assembles the full status document.

@@ -131,6 +131,50 @@ func TestFireAndResolve(t *testing.T) {
 	}
 }
 
+// TestLatQuantilesSharedEstimator pins the SLO call site of the shared
+// histogram-quantile estimator (stats.HistogramQuantile) on the edge
+// cases its golden tests cover: empty ring, a single bucket's worth of
+// samples, and samples landing in the +Inf bucket.
+func TestLatQuantilesSharedEstimator(t *testing.T) {
+	clk := vclock.NewVirtual(testStart)
+
+	// Empty histogram: no samples recorded yet, quantiles stay zero.
+	e := testEngine(clk)
+	e.mu.Lock()
+	s := e.seriesFor(sliKey{IBPOps, "empty"})
+	p50, p95, p99 := s.latQuantiles()
+	e.mu.Unlock()
+	if p50 != 0 || p95 != 0 || p99 != 0 {
+		t.Fatalf("empty ring quantiles = %v/%v/%v, want zeros", p50, p95, p99)
+	}
+
+	// Single bucket: every sample in (0.025, 0.05] — the estimator
+	// interpolates inside that one bucket, never escaping its bounds.
+	for i := 0; i < 8; i++ {
+		e.RecordLatency(IBPOps, "d1", 0.04)
+	}
+	e.mu.Lock()
+	s = e.seriesFor(sliKey{IBPOps, "d1"})
+	p50, _, p99 = s.latQuantiles()
+	e.mu.Unlock()
+	if p50 <= 0.025 || p50 > 0.05 || p99 <= 0.025 || p99 > 0.05 {
+		t.Fatalf("single-bucket quantiles p50=%v p99=%v escaped (0.025, 0.05]", p50, p99)
+	}
+
+	// +Inf bucket: samples beyond the highest finite bound (60s) clamp to
+	// it instead of inventing a value inside an unbounded bucket.
+	for i := 0; i < 8; i++ {
+		e.RecordLatency(IBPOps, "d2", 120)
+	}
+	e.mu.Lock()
+	s = e.seriesFor(sliKey{IBPOps, "d2"})
+	_, _, p99 = s.latQuantiles()
+	e.mu.Unlock()
+	if p99 != 60 {
+		t.Fatalf("+Inf-bucket p99 = %v, want clamp to highest finite bound 60", p99)
+	}
+}
+
 func TestNilEngineIsSafe(t *testing.T) {
 	var e *Engine
 	e.Record(IBPOps, "d1", true)

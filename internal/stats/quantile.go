@@ -1,0 +1,95 @@
+package stats
+
+// Histogram-quantile estimation over cumulative le-buckets, shared by the
+// SLO engine's latency quantiles and the fleet tsdb's quantile_over_time:
+// both layers must answer "what was the p99" from the same fixed-bound
+// histograms every daemon exposes, and they must agree on the estimate.
+// The method is the classic Prometheus one — find the bucket the rank
+// falls in and interpolate linearly inside it — so a member-level /slo
+// quantile and a fleet-level query over the merged _bucket series give
+// the same number for the same data.
+
+import "math"
+
+// HistBucket is one cumulative histogram bucket: Count observations with
+// value <= Le. Le is math.Inf(1) for the +Inf bucket. Buckets must be in
+// ascending Le order with non-decreasing counts (the exposition format's
+// invariant).
+type HistBucket struct {
+	Le    float64
+	Count float64
+}
+
+// HistogramQuantile estimates the q-quantile (q in [0,1]) of the
+// observations behind buckets by linear interpolation within the bucket
+// the rank lands in.
+//
+// Edge cases, pinned by golden tests in this package and exercised from
+// both call sites (internal/slo and internal/tsdb):
+//   - empty bucket list, zero total count, or a list whose last bucket is
+//     not +Inf: NaN — there is nothing defensible to estimate;
+//   - fewer than two buckets (just +Inf): NaN — no finite bound to
+//     interpolate against;
+//   - rank falls in the +Inf bucket: the highest finite bound — the
+//     honest answer is "at least this much";
+//   - rank falls in the first bucket: interpolate from lower bound 0
+//     (latencies are nonnegative);
+//   - q < 0 or q > 1: -Inf / +Inf respectively.
+func HistogramQuantile(q float64, buckets []HistBucket) float64 {
+	if math.IsNaN(q) || len(buckets) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		return math.Inf(-1)
+	}
+	if q > 1 {
+		return math.Inf(1)
+	}
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.Le, 1) || len(buckets) < 2 {
+		return math.NaN()
+	}
+	total := last.Count
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	b := 0
+	for b < len(buckets)-1 && buckets[b].Count < rank {
+		b++
+	}
+	if b == len(buckets)-1 {
+		// The rank lives above every finite bound; report the highest one
+		// rather than inventing a value inside an unbounded bucket.
+		return buckets[len(buckets)-2].Le
+	}
+	lo, below := 0.0, 0.0
+	if b > 0 {
+		lo = buckets[b-1].Le
+		below = buckets[b-1].Count
+	}
+	hi := buckets[b].Le
+	in := buckets[b].Count - below
+	if in <= 0 {
+		return hi
+	}
+	return lo + (hi-lo)*(rank-below)/in
+}
+
+// CumulativeBuckets buckets raw samples into cumulative counts over the
+// given ascending bounds, appending the implicit +Inf bucket — the shape
+// HistogramQuantile consumes.
+func CumulativeBuckets(bounds, samples []float64) []HistBucket {
+	out := make([]HistBucket, len(bounds)+1)
+	for i, b := range bounds {
+		out[i].Le = b
+	}
+	out[len(bounds)].Le = math.Inf(1)
+	for _, s := range samples {
+		out[len(bounds)].Count++
+		for i := len(bounds) - 1; i >= 0 && s <= bounds[i]; i-- {
+			out[i].Count++
+		}
+	}
+	return out
+}

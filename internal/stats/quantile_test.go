@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func inf() float64 { return math.Inf(1) }
+
+// TestHistogramQuantileGolden pins the estimator's answers on hand-checked
+// bucket layouts, including the edge cases both call sites (internal/slo
+// latency quantiles, internal/tsdb quantile_over_time) depend on.
+func TestHistogramQuantileGolden(t *testing.T) {
+	uniform := []HistBucket{ // 100 observations spread 25 per bucket
+		{Le: 0.1, Count: 25}, {Le: 0.2, Count: 50},
+		{Le: 0.4, Count: 75}, {Le: 0.8, Count: 100},
+		{Le: inf(), Count: 100},
+	}
+	cases := []struct {
+		name    string
+		q       float64
+		buckets []HistBucket
+		want    float64 // NaN means "want NaN"
+	}{
+		{name: "median interpolates to bucket edge", q: 0.5, buckets: uniform, want: 0.2},
+		{name: "p99 interpolates inside last finite bucket", q: 0.99, buckets: uniform, want: 0.4 + 0.4*(99-75)/25},
+		{name: "q=0 is the distribution floor", q: 0, buckets: uniform, want: 0},
+		{name: "q=1 is the highest admitting bound", q: 1, buckets: uniform, want: 0.8},
+
+		// Rank in the +Inf bucket: report the highest finite bound.
+		{name: "rank in +Inf bucket clamps to last finite bound", q: 0.9,
+			buckets: []HistBucket{{Le: 1, Count: 5}, {Le: inf(), Count: 10}},
+			want:    1},
+
+		// Single finite bucket: interpolate from lower bound 0.
+		{name: "single finite bucket interpolates from zero", q: 0.5,
+			buckets: []HistBucket{{Le: 0.01, Count: 4}, {Le: inf(), Count: 4}},
+			want:    0.005},
+
+		// First-bucket rank with later buckets present.
+		{name: "rank in first of many buckets", q: 0.1, buckets: uniform, want: 0.04},
+
+		// Degenerate shapes: nothing defensible to estimate.
+		{name: "empty histogram", q: 0.5, buckets: nil, want: math.NaN()},
+		{name: "zero observations", q: 0.5,
+			buckets: []HistBucket{{Le: 1, Count: 0}, {Le: inf(), Count: 0}},
+			want:    math.NaN()},
+		{name: "only the +Inf bucket", q: 0.5,
+			buckets: []HistBucket{{Le: inf(), Count: 7}},
+			want:    math.NaN()},
+		{name: "missing +Inf bucket", q: 0.5,
+			buckets: []HistBucket{{Le: 1, Count: 3}, {Le: 2, Count: 6}},
+			want:    math.NaN()},
+
+		// Out-of-range quantiles.
+		{name: "q below zero", q: -0.1, buckets: uniform, want: math.Inf(-1)},
+		{name: "q above one", q: 1.1, buckets: uniform, want: math.Inf(1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := HistogramQuantile(c.q, c.buckets)
+			switch {
+			case math.IsNaN(c.want):
+				if !math.IsNaN(got) {
+					t.Fatalf("HistogramQuantile(%v) = %v, want NaN", c.q, got)
+				}
+			case math.IsInf(c.want, 0):
+				if got != c.want {
+					t.Fatalf("HistogramQuantile(%v) = %v, want %v", c.q, got, c.want)
+				}
+			default:
+				if math.Abs(got-c.want) > 1e-12 {
+					t.Fatalf("HistogramQuantile(%v) = %v, want %v", c.q, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestCumulativeBuckets(t *testing.T) {
+	bs := CumulativeBuckets([]float64{0.1, 1}, []float64{0.05, 0.5, 0.5, 3})
+	want := []HistBucket{{Le: 0.1, Count: 1}, {Le: 1, Count: 3}, {Le: inf(), Count: 4}}
+	if len(bs) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(bs), len(want))
+	}
+	for i := range want {
+		if bs[i].Count != want[i].Count || (bs[i].Le != want[i].Le && !math.IsInf(bs[i].Le, 1)) {
+			t.Errorf("bucket %d = %+v, want %+v", i, bs[i], want[i])
+		}
+	}
+	// Empty sample: counts all zero, quantile over it is NaN.
+	if got := HistogramQuantile(0.5, CumulativeBuckets([]float64{1}, nil)); !math.IsNaN(got) {
+		t.Errorf("quantile over empty cumulative buckets = %v, want NaN", got)
+	}
+}

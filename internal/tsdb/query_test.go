@@ -1,0 +1,202 @@
+package tsdb
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func seed(t *testing.T, vals []float64) *Store {
+	t.Helper()
+	st := New(Config{})
+	for i, v := range vals {
+		st.Append(at(i), []Sample{{Name: "c", Value: v}})
+	}
+	return st
+}
+
+func one(t *testing.T, st *Store, expr string, to time.Time, window time.Duration) Result {
+	t.Helper()
+	e, err := ParseExpr(expr)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", expr, err)
+	}
+	rs, err := st.Query(e, to, window)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", expr, err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("Query(%q) = %d results, want 1: %+v", expr, len(rs), rs)
+	}
+	return rs[0]
+}
+
+// TestRestartMidRetention is the satellite's table: counter sequences with
+// a daemon restart (value going backwards) somewhere in the retained
+// window must yield reset-aware increases, never negative rates.
+func TestRestartMidRetention(t *testing.T) {
+	cases := []struct {
+		name       string
+		vals       []float64
+		wantInc    float64
+		wantResets uint64
+	}{
+		{name: "monotone counter", vals: []float64{0, 5, 10}, wantInc: 10, wantResets: 0},
+		{name: "restart mid-window", vals: []float64{0, 5, 10, 2, 4}, wantInc: 14, wantResets: 1},
+		{name: "restart on last sample", vals: []float64{3, 9, 1}, wantInc: 7, wantResets: 1},
+		{name: "two restarts", vals: []float64{4, 8, 1, 6, 2}, wantInc: 12, wantResets: 2},
+		{name: "restart to zero", vals: []float64{7, 0, 3}, wantInc: 3, wantResets: 1},
+		{name: "flat counter", vals: []float64{5, 5, 5}, wantInc: 0, wantResets: 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			st := seed(t, c.vals)
+			to := at(len(c.vals))
+			r := one(t, st, "increase(c)", to, time.Hour)
+			if math.Abs(r.Value-c.wantInc) > 1e-9 {
+				t.Errorf("increase = %v, want %v", r.Value, c.wantInc)
+			}
+			if r.Resets != c.wantResets {
+				t.Errorf("window resets = %d, want %d", r.Resets, c.wantResets)
+			}
+			// rate = increase / covered seconds; never negative.
+			cover := time.Duration(len(c.vals)-1) * time.Minute
+			rr := one(t, st, "rate(c)", to, time.Hour)
+			if want := c.wantInc / cover.Seconds(); math.Abs(rr.Value-want) > 1e-9 {
+				t.Errorf("rate = %v, want %v", rr.Value, want)
+			}
+			if rr.Value < 0 {
+				t.Errorf("rate went negative: %v", rr.Value)
+			}
+			// resets() agrees with the per-result count.
+			if rs := one(t, st, "resets(c)", to, time.Hour); rs.Value != float64(c.wantResets) {
+				t.Errorf("resets() = %v, want %d", rs.Value, c.wantResets)
+			}
+		})
+	}
+}
+
+func TestWindowClipping(t *testing.T) {
+	st := seed(t, []float64{0, 10, 20, 30, 40}) // minutes 0..4
+	// The window is inclusive on both ends: [at(2), at(4)] holds minutes
+	// 2, 3 and 4, so the increase is from 20 to 40.
+	r := one(t, st, "increase(c)", at(4), 2*time.Minute)
+	if r.Value != 20 || r.Points != 3 {
+		t.Fatalf("clipped increase = %+v, want 20 over 3 points", r)
+	}
+	// A window with a single point cannot witness growth: no result.
+	e, _ := ParseExpr("increase(c)")
+	if rs, _ := st.Query(e, at(4), 30*time.Second); len(rs) != 0 {
+		t.Fatalf("single-point window produced %+v", rs)
+	}
+	// Queries beyond retention clamp: still answerable from what's held.
+	long := New(Config{Retention: 3 * time.Minute})
+	for i, v := range []float64{0, 10, 20, 30, 40} {
+		long.Append(at(i), []Sample{{Name: "c", Value: v}})
+	}
+	r = one(t, long, "increase(c)", at(4), 24*time.Hour)
+	if r.Value != 30 {
+		t.Fatalf("retention-clamped increase = %v, want 30 (window cut to [1m, 4m])", r.Value)
+	}
+}
+
+func TestGaugeFunctions(t *testing.T) {
+	st := seed(t, []float64{4, 8, 2, 6})
+	if r := one(t, st, "delta(c)", at(4), time.Hour); r.Value != 2 {
+		t.Fatalf("delta = %v, want 2", r.Value)
+	}
+	if r := one(t, st, "avg_over_time(c)", at(4), time.Hour); r.Value != 5 {
+		t.Fatalf("avg = %v, want 5", r.Value)
+	}
+	if r := one(t, st, "quantile_over_time(1, c)", at(4), time.Hour); r.Value != 8 {
+		t.Fatalf("max via quantile = %v, want 8", r.Value)
+	}
+}
+
+func TestHistogramQuantileOverTime(t *testing.T) {
+	st := New(Config{})
+	// A histogram family: two sweeps of cumulative buckets. Increase over
+	// the window is 25 per bucket step — the uniform golden layout.
+	mk := func(le string, v float64) Sample {
+		return Sample{Name: "fleet_lat_bucket", Labels: []Label{{Name: "le", Value: le}}, Value: v}
+	}
+	st.Append(at(0), []Sample{mk("0.1", 0), mk("0.2", 0), mk("0.4", 0), mk("0.8", 0), mk("+Inf", 0)})
+	st.Append(at(1), []Sample{mk("0.1", 25), mk("0.2", 50), mk("0.4", 75), mk("0.8", 100), mk("+Inf", 100)})
+	r := one(t, st, "quantile_over_time(0.5, fleet_lat)", at(1), time.Hour)
+	if math.Abs(r.Value-0.2) > 1e-12 {
+		t.Fatalf("histogram median = %v, want 0.2", r.Value)
+	}
+	// The same query with a restart between sweeps (pre-restart counts
+	// above every post-restart value, so each bucket series resets):
+	// post-reset counts are all new increase, so the distribution is the
+	// post-restart histogram.
+	st2 := New(Config{})
+	st2.Append(at(0), []Sample{mk("0.1", 990), mk("0.2", 990), mk("0.4", 990), mk("0.8", 990), mk("+Inf", 990)})
+	st2.Append(at(1), []Sample{mk("0.1", 25), mk("0.2", 50), mk("0.4", 75), mk("0.8", 100), mk("+Inf", 100)})
+	r = one(t, st2, "quantile_over_time(0.5, fleet_lat)", at(1), time.Hour)
+	if math.Abs(r.Value-0.2) > 1e-12 {
+		t.Fatalf("post-restart histogram median = %v, want 0.2", r.Value)
+	}
+}
+
+func TestParseExpr(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Expr
+		wantErr bool
+	}{
+		{in: "rate(fleet_ops_total)", want: Expr{Fn: "rate", Name: "fleet_ops_total"}},
+		{in: ` increase( up{member="d1:6714"} ) `, want: Expr{
+			Fn: "increase", Name: "up",
+			Matchers: []Label{{Name: "member", Value: "d1:6714"}},
+		}},
+		{in: `quantile_over_time(0.99, lat{a="1", b="2"})`, want: Expr{
+			Fn: "quantile_over_time", Q: 0.99, Name: "lat",
+			Matchers: []Label{{Name: "a", Value: "1"}, {Name: "b", Value: "2"}},
+		}},
+		{in: `rate(c{v="quo\"ted"})`, want: Expr{
+			Fn: "rate", Name: "c",
+			Matchers: []Label{{Name: "v", Value: `quo"ted`}},
+		}},
+		{in: "bogus(c)", wantErr: true},
+		{in: "rate(c", wantErr: true},
+		{in: "rate(9name)", wantErr: true},
+		{in: `rate(c{a=unquoted})`, wantErr: true},
+		{in: `rate(c{a="open})`, wantErr: true},
+		{in: "quantile_over_time(c)", wantErr: true},
+		{in: "quantile_over_time(x, c)", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseExpr(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseExpr(%q) = %+v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseExpr(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	st := seed(t, []float64{1, 2})
+	if _, err := st.Query(Expr{Fn: "rate", Name: "c"}, at(2), 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := st.Query(Expr{Fn: "nope", Name: "c"}, at(2), time.Hour); err == nil {
+		t.Error("unknown function accepted")
+	}
+	// Unknown series: empty result, not an error.
+	rs, err := st.Query(Expr{Fn: "rate", Name: "ghost"}, at(2), time.Hour)
+	if err != nil || len(rs) != 0 {
+		t.Errorf("ghost series = %v, %v", rs, err)
+	}
+}
